@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+One :class:`~repro.eval.runner.EvalContext` is shared across every
+bench in the session, so the expensive ACO explorations run once and
+all three figures (plus the headlines) reuse them.  The effort profile
+comes from ``REPRO_EVAL_PROFILE`` (default ``quick``; set ``full`` for
+the paper's §5.1 settings).
+"""
+
+import pytest
+
+from repro.eval import EvalContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Full-suite context (all seven workloads)."""
+    return EvalContext(seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_ctx():
+    """Reduced context for the ablation benches (three workloads)."""
+    return EvalContext(seed=7, workload_names=["crc32", "adpcm", "bitcount"])
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

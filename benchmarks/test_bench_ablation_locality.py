@@ -1,0 +1,64 @@
+"""Ablation A2 — the merit function's locality terms.
+
+The thesis's contribution over [8] is exactly two merit-function terms:
+the critical-path boost (case 1) and the Max_AEC slack window (case 4's
+off-path branch).  This bench disables them one at a time on the
+multi-issue machine and reports area efficiency: with the locality
+terms on, the explorer should spend *less area per percent of
+reduction* (the terms exist to stop silicon being wasted on
+off-critical-path operations).
+"""
+
+from repro.config import ExplorationParams, ISEConstraints
+from repro.core.flow import ISEDesignFlow
+from repro.sched import MachineConfig
+from repro.workloads import get_workload
+
+from conftest import run_once
+
+WORKLOADS = ("crc32", "bitcount", "adpcm")
+
+VARIANTS = {
+    "full MI": dict(),
+    "no CP boost": dict(use_critical_path_boost=False),
+    "no slack window": dict(use_slack_window=False),
+    "neither (≈[8] merit)": dict(use_critical_path_boost=False,
+                                 use_slack_window=False),
+}
+
+
+def _run(overrides):
+    machine = MachineConfig(2, "4/2")
+    params = ExplorationParams(max_iterations=60, restarts=1,
+                               max_rounds=6, **overrides)
+    reductions, areas = [], []
+    for name in WORKLOADS:
+        program, args = get_workload(name).build()
+        flow = ISEDesignFlow(machine, params=params, seed=7, max_blocks=4)
+        report = flow.run(program, args=args, opt_level="O3",
+                          constraints=ISEConstraints(max_ises=4))
+        reductions.append(100.0 * report.reduction)
+        areas.append(report.area)
+    avg_red = sum(reductions) / len(reductions)
+    avg_area = sum(areas) / len(areas)
+    return avg_red, avg_area
+
+
+def test_bench_ablation_locality(benchmark):
+    results = run_once(
+        benchmark, lambda: {k: _run(v) for k, v in VARIANTS.items()})
+    print()
+    print("A2: merit locality terms (4 ISEs, 4/2 2IS O3, "
+          "crc32+bitcount+adpcm)")
+    print("  {:24s} {:>10} {:>12} {:>14}".format(
+        "variant", "reduction", "area (um2)", "um2 per %"))
+    for name, (red, area) in results.items():
+        per_pct = area / red if red > 0 else float("inf")
+        print("  {:24s} {:>9.2f}% {:>12.0f} {:>14.0f}".format(
+            name, red, area, per_pct))
+    full_red, full_area = results["full MI"]
+    assert full_red > 0.0
+    # The full merit function must stay competitive on reduction with
+    # every ablated variant.
+    for name, (red, __) in results.items():
+        assert full_red >= 0.75 * red, name

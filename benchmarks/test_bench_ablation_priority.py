@@ -1,0 +1,47 @@
+"""Ablation A1 — scheduling-priority functions (§6 future work).
+
+The thesis computes SP as the number of child operations and notes that
+other priority functions change which path is identified as critical.
+This bench runs the MI flow with SP ∈ {children, mobility, depth} and
+reports the reduction each achieves — all three should land in the same
+band (the algorithm is robust to SP), with no function catastrophically
+behind.
+"""
+
+from repro.config import ExplorationParams, ISEConstraints
+from repro.core.flow import ISEDesignFlow
+from repro.sched import MachineConfig
+from repro.workloads import get_workload
+
+from conftest import run_once
+
+WORKLOADS = ("crc32", "bitcount", "adpcm")
+PRIORITIES = ("children", "mobility", "depth")
+
+
+def _reduction(priority):
+    machine = MachineConfig(2, "4/2")
+    params = ExplorationParams(max_iterations=60, restarts=1, max_rounds=6)
+    values = []
+    for name in WORKLOADS:
+        program, args = get_workload(name).build()
+        flow = ISEDesignFlow(machine, params=params, seed=7,
+                             priority=priority, max_blocks=4)
+        report = flow.run(program, args=args, opt_level="O3",
+                          constraints=ISEConstraints(max_area=80_000))
+        values.append(100.0 * report.reduction)
+    return sum(values) / len(values)
+
+
+def test_bench_ablation_priority(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {p: _reduction(p) for p in PRIORITIES})
+    print()
+    print("A1: avg reduction (crc32+bitcount+adpcm, 4/2 2IS O3) per SP")
+    for priority in PRIORITIES:
+        print("  SP={:10s} {:6.2f}%".format(priority, results[priority]))
+    values = list(results.values())
+    assert all(v > 0.0 for v in values)
+    # Robustness: no priority function collapses the result.
+    assert min(values) >= 0.5 * max(values)

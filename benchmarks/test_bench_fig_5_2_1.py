@@ -1,0 +1,34 @@
+"""Figure 5.2.1 — execution-time reduction under silicon-area budgets.
+
+Regenerates the figure's full grid: MI and SI explorers × the six
+machine cases × {-O0, -O3}, each swept over area budgets of 20k-320k
+µm², averaged over the seven benchmarks.  Shape checks: reductions are
+monotone in the budget, and MI is at least as good as SI on average.
+"""
+
+from repro.eval import AREA_BUDGETS, figure_5_2_1, render_stacked_figure
+
+from conftest import run_once
+
+
+def test_bench_fig_5_2_1(benchmark, ctx):
+    rows = run_once(benchmark, lambda: figure_5_2_1(ctx))
+    print()
+    print(render_stacked_figure(
+        rows, "A=", "Fig 5.2.1: avg execution-time reduction (%) "
+        "vs silicon-area budget (um2)"))
+
+    for column, cells in rows.items():
+        values = [cells[b] for b in AREA_BUDGETS]
+        # More area should not hurt.  Greedy selection + replacement
+        # overlap resolution can backslide slightly, so allow a small
+        # tolerance rather than strict monotonicity.
+        assert all(b >= a - 2.0 for a, b in zip(values, values[1:])), column
+        assert all(0.0 <= v < 100.0 for v in values), column
+
+    # MI >= SI on the grand average (the paper's central claim).
+    mi = [v for (algo, *__), cells in rows.items() if algo == "MI"
+          for v in cells.values()]
+    si = [v for (algo, *__), cells in rows.items() if algo == "SI"
+          for v in cells.values()]
+    assert sum(mi) / len(mi) >= sum(si) / len(si)

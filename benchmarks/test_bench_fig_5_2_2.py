@@ -1,0 +1,40 @@
+"""Figure 5.2.2 — execution-time reduction vs number of ISEs.
+
+Same grid as Fig. 5.2.1 but sweeping the ISE-count budget 1…32.
+Shape checks: monotone in the count, strong diminishing returns (the
+first ISE contributes the bulk of the reduction — §5.2's observation
+that "most of execution time reduction is dominated by several ISEs,
+especially first ISE"), and MI ≥ SI on average.
+"""
+
+from repro.eval import ISE_COUNTS, figure_5_2_2, render_stacked_figure
+
+from conftest import run_once
+
+
+def test_bench_fig_5_2_2(benchmark, ctx):
+    rows = run_once(benchmark, lambda: figure_5_2_2(ctx))
+    print()
+    print(render_stacked_figure(
+        rows, "N=", "Fig 5.2.2: avg execution-time reduction (%) "
+        "vs number of ISEs"))
+
+    firsts, lasts = [], []
+    for column, cells in rows.items():
+        values = [cells[n] for n in ISE_COUNTS]
+        # Monotone in the budget up to greedy/replacement noise.
+        assert all(b >= a - 2.0 for a, b in zip(values, values[1:])), column
+        firsts.append(values[0])
+        lasts.append(values[-1])
+
+    # Diminishing returns: the single-ISE column already delivers more
+    # than half of the full-budget reduction on average.
+    avg_first = sum(firsts) / len(firsts)
+    avg_last = sum(lasts) / len(lasts)
+    assert avg_first >= 0.5 * avg_last
+
+    mi = [v for (algo, *__), cells in rows.items() if algo == "MI"
+          for v in cells.values()]
+    si = [v for (algo, *__), cells in rows.items() if algo == "SI"
+          for v in cells.values()]
+    assert sum(mi) / len(mi) >= sum(si) / len(si)

@@ -1,0 +1,32 @@
+"""Figure 5.2.3 — silicon-area cost vs execution-time reduction.
+
+For the 2-issue 4/2 machine at -O3, sweeps the ISE-count budget and
+plots, per algorithm, the selected-ASFU area against the achieved
+reduction.  Shape checks: area grows with the budget while reduction
+saturates (the figure's diminishing-returns story), i.e. the
+area-per-percent cost of the last ISEs far exceeds that of the first.
+"""
+
+from repro.eval import ISE_COUNTS, figure_5_2_3, render_area_vs_reduction
+
+from conftest import run_once
+
+
+def test_bench_fig_5_2_3(benchmark, ctx):
+    series = run_once(benchmark, lambda: figure_5_2_3(ctx))
+    print()
+    print(render_area_vs_reduction(
+        series, "Fig 5.2.3: area cost vs execution-time reduction "
+        "(4/2, 2IS, O3)"))
+
+    for algo, points in series.items():
+        areas = [a for __, a, ___ in points]
+        reductions = [r for __, ___, r in points]
+        assert all(b >= a - 1e-6 for a, b in zip(areas, areas[1:])), algo
+        assert all(b >= a - 2.0
+                   for a, b in zip(reductions, reductions[1:])), algo
+        # First ISE dominates: >= half the final reduction at one ISE.
+        assert reductions[0] >= 0.5 * reductions[-1], algo
+
+    counts = [n for n, __, ___ in series["MI"]]
+    assert counts == sorted(ISE_COUNTS)

@@ -1,0 +1,50 @@
+"""Abstract headlines H1 and H2 — paper vs measured.
+
+H1: with exactly one ISE, the proposed design reduces execution time by
+17.17 / 12.9 / 14.79 % (max / min / avg over the §5.1 cases) relative
+to the same multi-issue machine without ISEs.
+
+H2: under equal area budgets, MI delivers 11.39 / 2.87 / 7.16 % more
+reduction than the single-issue baseline [8].
+
+The absolute numbers come from gcc 2.7.2.3 + the authors' benchmarks;
+this reproduction checks the *shape*: a clearly double-digit average
+single-ISE reduction for H1, and a non-negative average MI-over-SI gap
+for H2.
+"""
+
+from repro.eval import headline_single_ise, headline_vs_baseline, \
+    render_headline
+
+from conftest import run_once
+
+PAPER_H1 = (17.17, 12.9, 14.79)
+PAPER_H2 = (11.39, 2.87, 7.16)
+
+
+def test_bench_headline_single_ise(benchmark, ctx):
+    (measured, per_case) = run_once(
+        benchmark, lambda: headline_single_ise(ctx))
+    print()
+    print(render_headline(
+        "H1: one ISE vs no ISE (max/min/avg over cases)",
+        PAPER_H1, measured, per_case))
+    maximum, minimum, average = measured
+    assert maximum >= minimum
+    # Shape: a single ISE buys a double-digit average reduction.
+    assert average >= 8.0
+    assert minimum >= 0.0
+
+
+def test_bench_headline_vs_baseline(benchmark, ctx):
+    (measured, per_case) = run_once(
+        benchmark, lambda: headline_vs_baseline(ctx))
+    print()
+    print(render_headline(
+        "H2: MI minus SI under equal area budgets (max/min/avg)",
+        PAPER_H2, measured, per_case))
+    maximum, minimum, average = measured
+    assert maximum >= minimum
+    # Shape: on average the multi-issue-aware explorer wins.
+    assert average >= 0.0
+    assert maximum > 0.0

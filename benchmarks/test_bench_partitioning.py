@@ -1,0 +1,67 @@
+"""Extension bench — §6's HW/SW partitioning on the same engine.
+
+The thesis's future-work section claims the algorithm transfers to the
+combined hardware-software partitioning / design-space exploration /
+scheduling problem "by a slight modification".  This bench runs that
+modification (`repro.ext.partition`) on an SDR receiver task graph
+across area budgets and checks the expected co-design shape: speedup
+grows monotonically with the hardware budget and saturates.
+"""
+
+from repro.ext import TaskGraph, partition
+
+from conftest import run_once
+
+
+def receiver():
+    tg = TaskGraph("sdr-receiver")
+    tg.add_task("adc_read", 3)
+    tg.add_task("ddc", 12, hw_bins=[(4.0, 1200.0), (2.0, 2600.0)],
+                deps=["adc_read"])
+    tg.add_task("fir_i", 8, hw_bins=[(2.0, 800.0)], deps=["ddc"])
+    tg.add_task("fir_q", 8, hw_bins=[(2.0, 800.0)], deps=["ddc"])
+    tg.add_task("agc", 4, hw_bins=[(1.0, 300.0)], deps=["fir_i", "fir_q"])
+    tg.add_task("demod", 14, hw_bins=[(5.0, 1500.0), (3.0, 3100.0)],
+                deps=["agc"])
+    tg.add_task("sync", 6, hw_bins=[(2.0, 500.0)], deps=["demod"])
+    tg.add_task("fec", 16, hw_bins=[(6.0, 2200.0)], deps=["sync"])
+    tg.add_task("crc", 5, hw_bins=[(1.0, 350.0)], deps=["fec"])
+    tg.add_task("to_mac", 2, deps=["crc"])
+    return tg
+
+
+BUDGETS = (0.0, 1500.0, 4000.0, 8000.0, None)
+
+
+def test_bench_partitioning(benchmark):
+    def run():
+        rows = []
+        for budget in BUDGETS:
+            result = partition(receiver(), processors=1, hw_slots=1,
+                               max_area=budget, seed=9)
+            rows.append((budget, result))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print("Extension: HW/SW partitioning of an SDR receiver")
+    print("  {:>10} {:>10} {:>8} {:>10}  blocks".format(
+        "budget", "makespan", "speedup", "area"))
+    for budget, result in rows:
+        label = "inf" if budget is None else "{:.0f}".format(budget)
+        blocks = "; ".join("+".join(b) for b in result.hardware_blocks()) \
+            or "-"
+        print("  {:>10} {:>10} {:>8.2f} {:>10.0f}  {}".format(
+            label, result.makespan_partitioned, result.speedup,
+            result.hardware_area, blocks))
+    speedups = [result.speedup for __, result in rows]
+    areas = [result.hardware_area for __, result in rows]
+    # Monotone in the budget; zero budget = all software.
+    assert speedups[0] == 1.0
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    for (budget, result) in rows:
+        if budget is not None:
+            assert result.hardware_area <= budget
+    # With unlimited area, hardware buys a real speedup.
+    assert speedups[-1] > 1.5
+    assert areas[-1] > 0

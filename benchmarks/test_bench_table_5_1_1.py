@@ -1,0 +1,32 @@
+"""Table 5.1.1 — hardware implementation option settings.
+
+Regenerates (prints) the table from the hardware database and checks
+the transcription invariants the rest of the evaluation relies on:
+faster design points cost more area within each opcode group, and the
+multiplier is by far the largest unit.
+"""
+
+from repro.hwlib import DEFAULT_DATABASE
+from repro.eval import render_table_5_1_1
+
+from conftest import run_once
+
+
+def test_bench_table_5_1_1(benchmark):
+    def regenerate():
+        table = render_table_5_1_1(DEFAULT_DATABASE)
+        rows = list(DEFAULT_DATABASE.rows())
+        return table, rows
+
+    table, rows = run_once(benchmark, regenerate)
+    print()
+    print(table)
+    assert len(rows) == 11
+    for group, points in rows:
+        ordered = sorted(points)                       # by delay
+        areas = [area for __, area in ordered]
+        # Faster implementations never come cheaper (Pareto points).
+        assert areas == sorted(areas, reverse=True), group
+    mult_area = DEFAULT_DATABASE.design_points("mult")[0][1]
+    assert all(area <= mult_area
+               for __, points in rows for ___, area in points)

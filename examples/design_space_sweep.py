@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Design-space sweep: pick a machine + ISE budget for a codec core.
+
+Scenario from the paper's introduction: a digital-entertainment SoC
+team must decide between widening the issue path and spending silicon
+on ISEs.  This example sweeps the six §5.1 machine configurations over
+a set of area budgets on a media-ish workload mix (adpcm + jpeg) and
+prints the reduction matrix, so the trade-off the paper argues about is
+visible in one table.
+
+Usage::
+
+    python examples/design_space_sweep.py [--quick]
+"""
+
+import sys
+
+from repro import ISEConstraints
+from repro.eval import EvalContext, machine_for_case
+from repro.sched.machine import PAPER_CASES
+
+BUDGETS = (20_000, 80_000, 320_000)
+WORKLOADS = ("adpcm", "jpeg")
+
+
+def main():
+    profile = "quick" if "--quick" in sys.argv else None
+    ctx = EvalContext(profile=profile, workload_names=list(WORKLOADS),
+                      seed=11)
+    header = "{:16s}".format("machine")
+    header += "".join("{:>14}".format("{}um2".format(b)) for b in BUDGETS)
+    print("Execution-time reduction, mean over {} (O3, MI explorer)"
+          .format("+".join(WORKLOADS)))
+    print(header)
+    print("-" * len(header))
+    best = (None, -1.0)
+    for ports, issue in PAPER_CASES:
+        machine = machine_for_case(ports, issue)
+        cells = []
+        for budget in BUDGETS:
+            value = ctx.average_reduction(
+                machine, "O3", "MI", ISEConstraints(max_area=budget))
+            cells.append(value)
+            if value > best[1]:
+                best = ("{} @ {} um2".format(machine.label, budget), value)
+        print("{:16s}".format(machine.label)
+              + "".join("{:>13.2f}%".format(v) for v in cells))
+    print("\nBest cell: {} ({:.2f}% reduction)".format(*best))
+
+
+if __name__ == "__main__":
+    main()

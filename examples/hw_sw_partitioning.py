@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""HW/SW partitioning with the ISE exploration engine (§6 future work).
+
+The thesis observes that hardware-software partitioning + hardware
+design-space exploration + scheduling (Chatha & Vemuri; Kalavade & Lee)
+is the same problem as ISE exploration at task granularity.  This
+example models a small software-defined-radio receiver as a task graph,
+lets :func:`repro.ext.partition` decide which stages to move into
+custom hardware (and which design bin to use), and sweeps the area
+budget.
+
+Usage::
+
+    python examples/hw_sw_partitioning.py
+"""
+
+from repro.ext import TaskGraph, partition
+
+
+def receiver():
+    """An SDR receive chain: parallel channel work joining at decode."""
+    tg = TaskGraph("sdr-receiver")
+    tg.add_task("adc_read", 3)
+    tg.add_task("ddc", 12, hw_bins=[(4.0, 1200.0), (2.0, 2600.0)],
+                deps=["adc_read"])
+    tg.add_task("fir_i", 8, hw_bins=[(2.0, 800.0)], deps=["ddc"])
+    tg.add_task("fir_q", 8, hw_bins=[(2.0, 800.0)], deps=["ddc"])
+    tg.add_task("agc", 4, hw_bins=[(1.0, 300.0)], deps=["fir_i", "fir_q"])
+    tg.add_task("demod", 14, hw_bins=[(5.0, 1500.0), (3.0, 3100.0)],
+                deps=["agc"])
+    tg.add_task("sync", 6, hw_bins=[(2.0, 500.0)], deps=["demod"])
+    tg.add_task("fec_decode", 16, hw_bins=[(6.0, 2200.0)], deps=["sync"])
+    tg.add_task("crc_check", 5, hw_bins=[(1.0, 350.0)], deps=["fec_decode"])
+    tg.add_task("to_mac", 2, deps=["crc_check"])
+    return tg
+
+
+def main():
+    tg = receiver()
+    print("Task graph: {} tasks, all-software critical path".format(len(tg)))
+
+    print("\n{:>10} {:>10} {:>8} {:>10}  {}".format(
+        "budget", "makespan", "speedup", "area", "hardware blocks"))
+    print("-" * 78)
+    for budget in (None, 6000.0, 3000.0, 1000.0, 0.0):
+        result = partition(tg, processors=1, hw_slots=1,
+                           max_area=budget, seed=9)
+        label = "none" if budget is None else "{:.0f}".format(budget)
+        blocks = "; ".join("+".join(b) for b in result.hardware_blocks()) \
+            or "(none)"
+        print("{:>10} {:>10} {:>8.2f} {:>10.0f}  {}".format(
+            label, result.makespan_partitioned, result.speedup,
+            result.hardware_area, blocks))
+
+    unbounded = partition(tg, processors=1, hw_slots=1, seed=9)
+    print("\nSoftware tasks kept on the CPU: {}".format(
+        ", ".join(sorted(unbounded.software_tasks()))))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Instruction Set Extension Exploration in Multiple-Issue Architectures.
+
+A full reproduction of the DATE 2008 paper (and the NCTU thesis it is
+based on): an ant-colony-optimisation ISE exploration algorithm that is
+aware of the multi-issue schedule's critical path, plus every substrate
+the evaluation needs — a PISA-like ISA model, a small compiler (IR,
+-O0/-O3 pipelines, interpreter/profiler), the Table 5.1.1 hardware
+database, a multi-issue list scheduler, the complete ISE design flow
+(explore -> merge -> select/share -> replace -> schedule), the
+SI/greedy/exact comparators, the seven benchmark kernels, and the
+chapter-5 experiment harness.
+
+Quickstart::
+
+    from repro import MachineConfig, ISEDesignFlow, get_workload
+
+    program, args = get_workload("crc32").build()
+    flow = ISEDesignFlow(MachineConfig(2, "4/2"))
+    report = flow.run(program, args=args, opt_level="O3")
+    print(report)          # cycles, reduction, selected ISEs, area
+"""
+
+from .config import (
+    DEFAULT_CONSTRAINTS,
+    DEFAULT_PARAMS,
+    ExplorationParams,
+    ISEConstraints,
+)
+from .errors import ReproError
+from .hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY, Technology
+from .sched import MachineConfig, paper_machines
+from .core import (
+    ISECandidate,
+    ISEDesignFlow,
+    MultiIssueExplorer,
+)
+from .baselines import ExactExplorer, GreedyExplorer, SingleIssueExplorer
+from .workloads import all_workloads, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONSTRAINTS",
+    "DEFAULT_DATABASE",
+    "DEFAULT_PARAMS",
+    "DEFAULT_TECHNOLOGY",
+    "ExactExplorer",
+    "ExplorationParams",
+    "GreedyExplorer",
+    "ISECandidate",
+    "ISEConstraints",
+    "ISEDesignFlow",
+    "MachineConfig",
+    "MultiIssueExplorer",
+    "ReproError",
+    "SingleIssueExplorer",
+    "Technology",
+    "all_workloads",
+    "get_workload",
+    "paper_machines",
+    "workload_names",
+]

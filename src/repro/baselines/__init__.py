@@ -1,0 +1,17 @@
+"""Comparator algorithms: SI (Wu [8]), greedy [6], exact oracle [4]."""
+
+from .single_issue_aco import SingleIssueExplorer, si_explorer_factory
+from .greedy import GreedyExplorer, greedy_explorer_factory
+from .exact import ExactExplorer, MAX_EXACT_NODES
+from .annealing import AnnealingExplorer, annealing_explorer_factory
+
+__all__ = [
+    "AnnealingExplorer",
+    "ExactExplorer",
+    "GreedyExplorer",
+    "MAX_EXACT_NODES",
+    "SingleIssueExplorer",
+    "annealing_explorer_factory",
+    "greedy_explorer_factory",
+    "si_explorer_factory",
+]

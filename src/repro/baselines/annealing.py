@@ -1,0 +1,126 @@
+"""Simulated-annealing ISE exploration.
+
+§2.2 of the thesis argues for ant-colony optimisation over other
+evolutionary models (simulated annealing, genetic) on mapping-ease
+grounds.  This comparator makes that an experiment: the same solution
+space — one implementation option per operation, hardware components
+becoming ISEs — searched by classic simulated annealing over option
+flips, evaluated with the same deterministic list scheduler.
+
+Energy is lexicographic (makespan first, area as a tiny tie-break), and
+the per-move evaluation legalises the flipped state's hardware
+components exactly like the ACO explorer's round output, so both
+algorithms answer to the same constraints.
+"""
+
+import math
+import random
+
+from ..config import DEFAULT_CONSTRAINTS, DEFAULT_PARAMS
+from ..core.candidate import ISECandidate
+from ..core.exploration import ExplorationResult
+from ..core.make_convex import legalize_components
+from ..hwlib.database import DEFAULT_DATABASE
+from ..hwlib.options import default_io_table
+from ..hwlib.technology import DEFAULT_TECHNOLOGY
+from ..sched.list_scheduler import list_schedule
+from ..sched.units import contract_dfg
+
+
+class AnnealingExplorer:
+    """Option-flip simulated annealing over one basic block."""
+
+    def __init__(self, machine, constraints=None, database=None,
+                 technology=None, seed=0, steps=400,
+                 initial_temperature=2.0, cooling=0.99):
+        self.machine = machine
+        constraints = constraints or DEFAULT_CONSTRAINTS
+        rf = machine.register_file
+        self.constraints = constraints.with_(
+            n_in=min(constraints.n_in, rf.read_ports),
+            n_out=min(constraints.n_out, rf.write_ports))
+        self.database = database or DEFAULT_DATABASE
+        self.technology = technology or DEFAULT_TECHNOLOGY
+        self.seed = seed
+        self.steps = int(steps)
+        self.initial_temperature = float(initial_temperature)
+        self.cooling = float(cooling)
+
+    def explore(self, dfg, io_tables=None):
+        """Anneal over option flips; returns an ExplorationResult."""
+        if io_tables is None:
+            io_tables = {uid: default_io_table(dfg.op(uid), self.database)
+                         for uid in dfg.nodes}
+        rng = random.Random("{}:{}:{}".format(self.seed, dfg.function,
+                                              dfg.label))
+        flippable = [uid for uid in dfg.nodes
+                     if len(tuple(io_tables[uid])) > 1]
+        state = {uid: tuple(io_tables[uid])[0] for uid in dfg.nodes}
+        base_cycles, __ = self._energy(dfg, state, io_tables)
+        best_state = dict(state)
+        best_energy = (base_cycles, 0.0)
+        current_energy = best_energy
+        temperature = self.initial_temperature
+        iterations = 0
+        for __ in range(self.steps):
+            if not flippable:
+                break
+            iterations += 1
+            uid = rng.choice(flippable)
+            options = tuple(io_tables[uid])
+            new_option = rng.choice(
+                [o for o in options if o is not state[uid]])
+            old_option = state[uid]
+            state[uid] = new_option
+            energy = self._energy(dfg, state, io_tables)
+            delta = ((energy[0] - current_energy[0])
+                     + (energy[1] - current_energy[1]) / 1e7)
+            if delta <= 0 or rng.random() < math.exp(
+                    -delta / max(temperature, 1e-9)):
+                current_energy = energy
+                if energy < best_energy:
+                    best_energy = energy
+                    best_state = dict(state)
+            else:
+                state[uid] = old_option
+            temperature *= self.cooling
+        candidates = self._extract(dfg, best_state)
+        final = best_energy[0]
+        for candidate in candidates:
+            candidate.source = "SA"
+        return ExplorationResult(dfg, candidates, base_cycles, final,
+                                 rounds=1, iterations=iterations)
+
+    # -- internals -----------------------------------------------------------
+
+    def _groups(self, dfg, state):
+        chosen_hw = {uid for uid, option in state.items()
+                     if option.is_hardware}
+        groups = []
+        for members in legalize_components(dfg, chosen_hw,
+                                           self.constraints):
+            groups.append((members,
+                           {uid: state[uid] for uid in members}))
+        return groups
+
+    def _energy(self, dfg, state, io_tables):
+        groups = self._groups(dfg, state)
+        software_cycles = {uid: io_tables[uid].software[0].cycles
+                           for uid in dfg.nodes}
+        graph, units = contract_dfg(dfg, groups, self.technology,
+                                    software_cycles=software_cycles)
+        schedule = list_schedule(graph, units, self.machine)
+        area = sum(unit.area for unit in units.values())
+        return (schedule.makespan, area)
+
+    def _extract(self, dfg, state):
+        return [ISECandidate(dfg, members, option_of, self.technology,
+                             source="SA")
+                for members, option_of in self._groups(dfg, state)]
+
+
+def annealing_explorer_factory(flow):
+    """``explorer_factory`` adapter for the design flow."""
+    return AnnealingExplorer(
+        flow.machine, constraints=flow.constraints,
+        technology=flow.technology, seed=flow.seed)

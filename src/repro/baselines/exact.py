@@ -1,0 +1,110 @@
+"""Exhaustive ISE exploration for small DFGs (Pozzi-style oracle [4]).
+
+Enumerates every connected, legal (convex, port-bounded, memory-free)
+subset of groupable operations, realises each with the fastest hardware
+options, and — round-wise, like the other explorers — fixes the subset
+whose contraction minimises the block's list schedule.  Worst-case
+exponential; guarded by a node-count limit so tests can use it as an
+optimality oracle against the heuristics.
+"""
+
+from itertools import combinations
+
+from ..config import DEFAULT_CONSTRAINTS
+from ..errors import ExplorationError
+from ..graph.analysis import is_legal
+from ..hwlib.database import DEFAULT_DATABASE
+from ..hwlib.technology import DEFAULT_TECHNOLOGY
+from ..sched.list_scheduler import list_schedule
+from ..sched.units import contract_dfg
+from ..core.candidate import ISECandidate
+from ..core.exploration import ExplorationResult
+
+#: Refuse DFGs larger than this (2^N subsets).
+MAX_EXACT_NODES = 16
+
+
+class ExactExplorer:
+    """Optimal (per-round) explorer for tiny DFGs."""
+
+    def __init__(self, machine, constraints=None, database=None,
+                 technology=None, seed=0, max_nodes=MAX_EXACT_NODES):
+        self.machine = machine
+        constraints = constraints or DEFAULT_CONSTRAINTS
+        rf = machine.register_file
+        self.constraints = constraints.with_(
+            n_in=min(constraints.n_in, rf.read_ports),
+            n_out=min(constraints.n_out, rf.write_ports))
+        self.database = database or DEFAULT_DATABASE
+        self.technology = technology or DEFAULT_TECHNOLOGY
+        self.max_nodes = max_nodes
+        self.seed = seed     # unused; interface parity
+
+    def explore(self, dfg):
+        """Exhaustive per-round optimum; returns an ExplorationResult."""
+        groupable = dfg.groupable_nodes()
+        if len(groupable) > self.max_nodes:
+            raise ExplorationError(
+                "exact exploration limited to {} groupable nodes, got {}"
+                .format(self.max_nodes, len(groupable)))
+        base = self._evaluate(dfg, [])
+        candidates = []
+        best_cycles = base
+        rounds = 0
+        while rounds < 8:
+            rounds += 1
+            taken = set().union(*(c.members for c in candidates)) \
+                if candidates else set()
+            best = None
+            for members in self._legal_subsets(dfg, taken):
+                candidate = self._realize(dfg, members)
+                cycles = self._evaluate(dfg, candidates + [candidate])
+                key = (cycles, candidate.area)
+                if best is None or key < best[0]:
+                    best = (key, candidate)
+            if best is None or best[0][0] >= best_cycles:
+                break
+            candidate = best[1]
+            candidate.cycle_saving = best_cycles - best[0][0]
+            candidates.append(candidate)
+            best_cycles = best[0][0]
+        return ExplorationResult(dfg, candidates, base, best_cycles,
+                                 rounds, rounds)
+
+    # -- enumeration ---------------------------------------------------------
+
+    def _legal_subsets(self, dfg, taken):
+        pool = [uid for uid in dfg.groupable_nodes() if uid not in taken]
+        for size in range(2, len(pool) + 1):
+            for subset in combinations(pool, size):
+                members = set(subset)
+                if not _connected(dfg, members):
+                    continue
+                if is_legal(dfg, members, self.constraints):
+                    yield members
+
+    def _realize(self, dfg, members):
+        option_of = {}
+        for uid in members:
+            options = self.database.hardware_options(dfg.op(uid).name)
+            option_of[uid] = min(options, key=lambda o: o.delay_ns)
+        return ISECandidate(dfg, members, option_of, self.technology,
+                            source="EXACT")
+
+    def _evaluate(self, dfg, candidates):
+        groups = [(c.members, c.option_of) for c in candidates]
+        graph, units = contract_dfg(dfg, groups, self.technology)
+        return list_schedule(graph, units, self.machine).makespan
+
+
+def _connected(dfg, members):
+    members = set(members)
+    seen = {next(iter(members))}
+    frontier = list(seen)
+    while frontier:
+        node = frontier.pop()
+        for other in list(dfg.predecessors(node)) + list(dfg.successors(node)):
+            if other in members and other not in seen:
+                seen.add(other)
+                frontier.append(other)
+    return seen == members

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``workloads``
+    List the bundled benchmarks.
+``explore``
+    Run the full design flow for one workload on one machine and print
+    the report plus the selected ISEs.
+``table``
+    Print Table 5.1.1 (the hardware implementation-option database).
+``selftest``
+    Run every bundled workload at -O0/-O3 against its reference.
+``dot``
+    Emit Graphviz DOT of a workload's hottest block with its explored
+    ISEs highlighted.
+``gantt``
+    Print the before/after issue bundles of the hottest block.
+"""
+
+import argparse
+import sys
+
+from .config import ExplorationParams, ISEConstraints
+from .core.flow import ISEDesignFlow
+from .eval.reporting import render_table_5_1_1
+from .graph.export import dfg_to_dot
+from .hwlib import DEFAULT_DATABASE
+from .sched.machine import MachineConfig
+from .workloads import all_workloads, get_workload
+
+
+def _add_machine_args(parser):
+    parser.add_argument("--issue", type=int, default=2,
+                        help="issue width (default 2)")
+    parser.add_argument("--ports", default="4/2",
+                        help="register file read/write ports (default 4/2)")
+
+
+def _add_effort_args(parser):
+    parser.add_argument("--iterations", type=int, default=120,
+                        help="ACO iterations per round (default 120)")
+    parser.add_argument("--restarts", type=int, default=2,
+                        help="independent restarts per block (default 2)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _flow_from_args(args):
+    machine = MachineConfig(args.issue, args.ports)
+    params = ExplorationParams(max_iterations=args.iterations,
+                               restarts=args.restarts)
+    return ISEDesignFlow(machine, params=params, seed=args.seed)
+
+
+def _cmd_workloads(args):
+    del args
+    for workload in all_workloads():
+        print("{:10s} {}".format(workload.name, workload.description))
+    return 0
+
+
+def _cmd_table(args):
+    del args
+    print(render_table_5_1_1(DEFAULT_DATABASE))
+    return 0
+
+
+def _cmd_explore(args):
+    workload = get_workload(args.workload)
+    program, run_args = workload.build()
+    flow = _flow_from_args(args)
+    explored = flow.explore_application(program, args=run_args,
+                                        opt_level=args.opt)
+    constraints = ISEConstraints(
+        max_area=args.area, max_ises=args.max_ises)
+    report = flow.evaluate(explored, constraints)
+    print("workload : {} ({})".format(workload.name, args.opt))
+    print("machine  : {}-issue, RF {}".format(args.issue, args.ports))
+    print("baseline : {} cycles".format(report.baseline_cycles))
+    print("with ISE : {} cycles".format(report.final_cycles))
+    print("reduction: {:.2%}".format(report.reduction))
+    print("selected : {} ISE(s), {:.0f} um2".format(
+        report.num_ises, report.area))
+    for entry in report.selection.selected:
+        print("  " + entry.representative.describe())
+    return 0
+
+
+def _cmd_selftest(args):
+    """Run every bundled workload at -O0 and -O3 against its reference."""
+    from .ir.interp import run_program
+    from .ir.passes import optimize
+    from .workloads import all_workloads, extra_workloads
+
+    del args
+    failures = 0
+    for workload in all_workloads() + extra_workloads():
+        program, run_args = workload.build()
+        expected = workload.reference()
+        for level in ("O0", "O3"):
+            candidate = optimize(program, level) if level != "O0" \
+                else program
+            result, __, ___ = run_program(candidate, args=run_args)
+            ok = result == expected
+            failures += 0 if ok else 1
+            print("{:10s} {}: {}".format(
+                workload.name, level, "ok" if ok else
+                "FAIL ({:#x} != {:#x})".format(result, expected)))
+    print("selftest: {}".format("all ok" if failures == 0
+                                else "{} failure(s)".format(failures)))
+    return 0 if failures == 0 else 1
+
+
+def _cmd_gantt(args):
+    from .core.replacement import replace_and_schedule
+    from .core.merging import merge_candidates
+    from .graph.export import schedule_to_gantt
+
+    workload = get_workload(args.workload)
+    program, run_args = workload.build()
+    flow = _flow_from_args(args)
+    explored = flow.explore_application(program, args=run_args,
+                                        opt_level=args.opt)
+    hot = max((b for b in explored.blocks if b.explorable),
+              key=lambda b: b.weight, default=None)
+    if hot is None:
+        print("no explorable block found", file=sys.stderr)
+        return 1
+    merged = merge_candidates(explored.candidates)
+    baseline, __ = replace_and_schedule(
+        hot.dfg, [], flow.machine, flow.technology, flow.constraints)
+    schedule, ___ = replace_and_schedule(
+        hot.dfg, merged, flow.machine, flow.technology, flow.constraints)
+    print("hot block {}:{} — {} ops".format(
+        hot.function, hot.label, len(hot.dfg)))
+    print("baseline: {} cycles | with ISEs: {} cycles".format(
+        baseline.makespan, schedule.makespan))
+    print(schedule_to_gantt(schedule))
+    return 0
+
+
+def _cmd_manual(args):
+    """Print the custom-instruction datasheet for one workload."""
+    from .core.manual import render_manual
+
+    workload = get_workload(args.workload)
+    program, run_args = workload.build()
+    flow = _flow_from_args(args)
+    explored = flow.explore_application(program, args=run_args,
+                                        opt_level=args.opt)
+    constraints = ISEConstraints(max_area=args.area,
+                                 max_ises=args.max_ises)
+    report = flow.evaluate(explored, constraints)
+    print(render_manual(
+        report.selection,
+        title="Custom instructions for {} on {}-issue RF {}".format(
+            workload.name, args.issue, args.ports)))
+    return 0
+
+
+def _cmd_dot(args):
+    workload = get_workload(args.workload)
+    program, run_args = workload.build()
+    flow = _flow_from_args(args)
+    explored = flow.explore_application(program, args=run_args,
+                                        opt_level=args.opt)
+    hot = max((b for b in explored.blocks if b.explorable),
+              key=lambda b: b.weight, default=None)
+    if hot is None:
+        print("no explorable block found", file=sys.stderr)
+        return 1
+    members = [c.members for c in explored.candidates
+               if c.members <= set(hot.dfg.nodes)]
+    print(dfg_to_dot(hot.dfg, highlight=members))
+    return 0
+
+
+def build_parser():
+    """Construct the argparse parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ISE exploration for multiple-issue architectures "
+                    "(DATE 2008 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list bundled benchmarks") \
+        .set_defaults(func=_cmd_workloads)
+    sub.add_parser("table", help="print Table 5.1.1") \
+        .set_defaults(func=_cmd_table)
+    sub.add_parser(
+        "selftest",
+        help="check every workload against its reference at O0/O3") \
+        .set_defaults(func=_cmd_selftest)
+
+    explore = sub.add_parser("explore", help="run the design flow")
+    explore.add_argument("workload")
+    explore.add_argument("--opt", choices=("O0", "O3"), default="O3")
+    explore.add_argument("--area", type=float, default=None,
+                         help="silicon area budget in um2")
+    explore.add_argument("--max-ises", type=int, default=None,
+                         help="ISE count budget (unused opcodes)")
+    _add_machine_args(explore)
+    _add_effort_args(explore)
+    explore.set_defaults(func=_cmd_explore)
+
+    dot = sub.add_parser("dot", help="DOT of the hottest block + ISEs")
+    dot.add_argument("workload")
+    dot.add_argument("--opt", choices=("O0", "O3"), default="O3")
+    _add_machine_args(dot)
+    _add_effort_args(dot)
+    dot.set_defaults(func=_cmd_dot)
+
+    gantt = sub.add_parser(
+        "gantt", help="issue table of the hottest block with its ISEs")
+    gantt.add_argument("workload")
+    gantt.add_argument("--opt", choices=("O0", "O3"), default="O3")
+    _add_machine_args(gantt)
+    _add_effort_args(gantt)
+    gantt.set_defaults(func=_cmd_gantt)
+
+    manual = sub.add_parser(
+        "manual", help="datasheet of the selected custom instructions")
+    manual.add_argument("workload")
+    manual.add_argument("--opt", choices=("O0", "O3"), default="O3")
+    manual.add_argument("--area", type=float, default=None)
+    manual.add_argument("--max-ises", type=int, default=None)
+    _add_machine_args(manual)
+    _add_effort_args(manual)
+    manual.set_defaults(func=_cmd_manual)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

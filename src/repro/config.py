@@ -1,0 +1,125 @@
+"""Configuration objects for the ISE exploration algorithm.
+
+:class:`ExplorationParams` carries every tunable named in chapter 4/5 of
+the thesis.  The defaults reproduce the experimental setup of §5.1:
+
+* initial merit 100 (software) / 200 (hardware), initial trail 0,
+* ``P_END`` = 0.99,
+* ``alpha`` = 0.25,
+* evaporation factors ``rho1..rho5`` = 4, 2, 2, 2, 0.4,
+* merit factors ``beta_cp`` = 0.9, ``beta_size`` = 0.7,
+  ``beta_io`` = 0.8, ``beta_convex`` = 0.4.
+
+The thesis does not print a value for ``lambda`` (the scheduling-priority
+weight in Eq. 1); 0.1 keeps SP influential without drowning trail/merit,
+and the ablation bench sweeps it.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ExplorationParams:
+    """Tunables of the multi-issue ACO ISE exploration algorithm.
+
+    Attributes mirror the symbols of the thesis; see the module docstring
+    for provenance of the default values.
+    """
+
+    # Relative influence of trail vs merit in Eq. 1 / Eq. 3.
+    alpha: float = 0.25
+    # Relative influence of scheduling priority (SP) in Eq. 1.
+    lam: float = 0.1
+    # Trail evaporation factors (Fig. 4.3.5).
+    rho1: float = 4.0   # reward chosen options on improvement
+    rho2: float = 2.0   # decay unchosen options on improvement
+    rho3: float = 2.0   # punish chosen options on regression
+    rho4: float = 2.0   # boost unchosen options on regression
+    rho5: float = 0.4   # extra punishment for reordered operations
+    # Merit factors (Fig. 4.3.7).
+    beta_cp: float = 0.9      # critical-path boost divisor (case 1)
+    beta_size: float = 0.7    # singleton damping (case 2)
+    beta_io: float = 0.8      # I/O-constraint violation damping (case 3)
+    beta_convex: float = 0.4  # convexity violation damping (case 3)
+    # Convergence threshold on the selected probability sp.
+    p_end: float = 0.99
+    # Initial values.
+    initial_merit_software: float = 100.0
+    initial_merit_hardware: float = 200.0
+    initial_trail: float = 0.0
+    # Guard rails not stated in the thesis but required in practice.
+    max_iterations: int = 400     # per-round iteration budget
+    max_rounds: int = 16          # ISEs explored per basic block at most
+    merit_floor: float = 1e-6     # merits never collapse below this
+    merit_scale: float = 100.0    # per-option average after normalisation
+    # Number of independent repetitions per basic block (§5.1 uses 5);
+    # the best result is kept.
+    restarts: int = 5
+    # Ablation toggles (DESIGN.md experiments A2).
+    use_critical_path_boost: bool = True
+    use_slack_window: bool = True
+
+    def __post_init__(self):
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigError("alpha must lie in [0, 1]")
+        if self.lam < 0.0:
+            raise ConfigError("lambda must be non-negative")
+        if not 0.0 < self.p_end < 1.0:
+            raise ConfigError("P_END must lie in (0, 1)")
+        for name in ("rho1", "rho2", "rho3", "rho4", "rho5"):
+            if getattr(self, name) < 0.0:
+                raise ConfigError("{} must be non-negative".format(name))
+        for name in ("beta_cp", "beta_size", "beta_io", "beta_convex"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigError("{} must lie in (0, 1]".format(name))
+        if self.max_iterations < 1 or self.max_rounds < 1:
+            raise ConfigError("iteration/round budgets must be positive")
+        if self.restarts < 1:
+            raise ConfigError("restarts must be positive")
+
+    def with_(self, **kwargs):
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ISEConstraints:
+    """Physical constraints of §4.2 applied to every ISE candidate.
+
+    ``n_in``/``n_out`` default to 4 read / 2 write register-file ports —
+    the narrowest configuration evaluated in §5.1.  ``max_ises`` bounds
+    the number of ISEs selected (unused-opcode budget); ``max_area`` is
+    the total extra silicon area allowed for all ASFUs in µm².
+    ``max_ise_cycles`` models the *pipestage timing* constraint the
+    related work lists (§3.1): when set, an ISE's combinational path
+    must fit that many clock cycles (1 = single-cycle ASFUs only);
+    ``None`` allows multi-cycle ISEs, the thesis's evaluated setting.
+    """
+
+    n_in: int = 4
+    n_out: int = 2
+    max_ises: int = None
+    max_area: float = None
+    max_ise_cycles: int = None
+    forbid_memory_ops: bool = True
+
+    def __post_init__(self):
+        if self.n_in < 1 or self.n_out < 1:
+            raise ConfigError("register port limits must be positive")
+        if self.max_ises is not None and self.max_ises < 0:
+            raise ConfigError("max_ises must be non-negative")
+        if self.max_area is not None and self.max_area < 0:
+            raise ConfigError("max_area must be non-negative")
+        if self.max_ise_cycles is not None and self.max_ise_cycles < 1:
+            raise ConfigError("max_ise_cycles must be positive")
+
+    def with_(self, **kwargs):
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_PARAMS = ExplorationParams()
+DEFAULT_CONSTRAINTS = ISEConstraints()

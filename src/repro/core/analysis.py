@@ -1,0 +1,103 @@
+"""Post-iteration schedule analysis.
+
+After an iteration's schedule is complete, the merit function needs to
+know (a) which operations lie on the critical path — clusters count as
+single multi-cycle units — and (b) per-node ASAP/ALAP windows for the
+Max_AEC slack computation.  Both are computed on the *contracted* unit
+graph (clusters folded to supernodes) with pure dependence timing, the
+thesis's notion of the critical path.
+"""
+
+import networkx as nx
+
+
+class ScheduleAnalysis:
+    """Dependence-timing facts about one iteration's realized choices."""
+
+    def __init__(self, dfg, schedule):
+        self.dfg = dfg
+        self.schedule = schedule
+        graph, unit_of, latency = _contracted_graph(dfg, schedule)
+        self._graph = graph
+        self._unit_of = unit_of
+        self._latency = latency
+        self._asap = {}
+        for unit in nx.topological_sort(graph):
+            earliest = 0
+            for pred in graph.predecessors(unit):
+                earliest = max(earliest, self._asap[pred] + latency[pred])
+            self._asap[unit] = earliest
+        self.dependence_makespan = max(
+            (self._asap[u] + latency[u] for u in graph.nodes), default=0)
+        self._alap = {}
+        for unit in reversed(list(nx.topological_sort(graph))):
+            latest = self.dependence_makespan - latency[unit]
+            for succ in graph.successors(unit):
+                latest = min(latest, self._alap[succ] - latency[unit])
+            self._alap[unit] = latest
+        self.critical = {
+            node for node in dfg.nodes
+            if self._alap[unit_of[node]] <= self._asap[unit_of[node]]
+        }
+
+    # -- per-node windows -------------------------------------------------
+
+    def asap_start(self, node):
+        """Earliest dependence-feasible start cycle of ``node``."""
+        return self._asap[self._unit_of[node]]
+
+    def alap_start(self, node):
+        """Latest start cycle that preserves the makespan."""
+        return self._alap[self._unit_of[node]]
+
+    def unit_latency(self, node):
+        """Latency of the unit containing ``node``."""
+        return self._latency[self._unit_of[node]]
+
+    def is_critical(self, node):
+        """True when ``node`` has zero slack."""
+        return node in self.critical
+
+    def max_aec(self, members):
+        """Maximal allowable execution cycles of a (virtual) group.
+
+        Fig. 4.3.8: the slack window a group can occupy without hurting
+        the schedule — from the earliest its external inputs can be
+        ready to the latest its external consumers can still start.
+        """
+        members = set(members)
+        ready = 0
+        deadline = self.dependence_makespan
+        for node in members:
+            for pred in self.dfg.predecessors(node):
+                if pred in members:
+                    continue
+                unit = self._unit_of[pred]
+                ready = max(ready, self._asap[unit] + self._latency[unit])
+            for succ in self.dfg.successors(node):
+                if succ in members:
+                    continue
+                deadline = min(deadline, self._alap[self._unit_of[succ]])
+        return max(0, deadline - ready)
+
+
+def _contracted_graph(dfg, schedule):
+    """Unit DAG of the realized assignment (clusters → supernodes)."""
+    unit_of = {}
+    latency = {}
+    for index, cluster in enumerate(schedule.clusters):
+        uid = "c{}".format(index)
+        for member in cluster.members:
+            unit_of[member] = uid
+        latency[uid] = cluster.cycles
+    for node in dfg.nodes:
+        if node not in unit_of:
+            unit_of[node] = node
+            latency[node] = schedule.chosen[node].cycles
+    graph = nx.DiGraph()
+    graph.add_nodes_from(set(unit_of.values()))
+    for src, dst in dfg.graph.edges:
+        u, v = unit_of[src], unit_of[dst]
+        if u != v:
+            graph.add_edge(u, v)
+    return graph, unit_of, latency

@@ -1,0 +1,320 @@
+"""The multi-issue ISE exploration algorithm (chapter 4).
+
+:class:`MultiIssueExplorer` runs the full round/iteration structure of
+Fig. 4.3.1 on one basic-block DFG:
+
+* a **round** explores one ISE: iterations construct complete schedules
+  (ACO ants drawing (operation, option) pairs from the Ready-Matrix),
+  trails and merits are updated after each, until every operation's
+  selected probability passes ``P_END`` (or the iteration budget runs
+  out, in which case the best iteration seen is used);
+* the taken-hardware nodes are made convex and legalised into
+  candidates; the best one is fixed into the DFG as a supernode and the
+  next round explores the remainder;
+* rounds stop when no candidate improves the deterministic list
+  schedule of the block.
+
+§5.1 repeats exploration ``restarts`` times per block and keeps the
+best outcome; :meth:`explore` does the same.
+"""
+
+import random
+
+from ..config import DEFAULT_CONSTRAINTS, DEFAULT_PARAMS
+from ..errors import ExplorationError
+from ..hwlib.database import DEFAULT_DATABASE
+from ..hwlib.options import default_io_table
+from ..hwlib.technology import DEFAULT_TECHNOLOGY
+from ..sched.list_scheduler import list_schedule
+from ..sched.units import contract_dfg
+from .candidate import ISECandidate
+from .contract import contract_candidate
+from .iteration import IterationSchedule
+from .make_convex import legalize_components
+from .merit import update_merits
+from .state import ExplorationState
+from .trail import update_trails
+
+
+class ExplorationResult:
+    """Outcome of exploring one basic block."""
+
+    def __init__(self, dfg, candidates, base_cycles, final_cycles,
+                 rounds, iterations, traces=()):
+        self.dfg = dfg
+        self.candidates = list(candidates)
+        self.base_cycles = base_cycles
+        self.final_cycles = final_cycles
+        self.rounds = rounds
+        self.iterations = iterations
+        #: Per-round convergence traces: list of per-iteration TETs.
+        self.traces = [list(t) for t in traces]
+
+    @property
+    def cycle_saving(self):
+        """Block cycles saved versus the no-ISE baseline."""
+        return self.base_cycles - self.final_cycles
+
+    @property
+    def total_area(self):
+        """Summed silicon area of all candidates."""
+        return sum(c.area for c in self.candidates)
+
+    def __repr__(self):
+        return ("ExplorationResult({} ISEs, {} -> {} cycles, "
+                "{} rounds / {} iterations)".format(
+                    len(self.candidates), self.base_cycles,
+                    self.final_cycles, self.rounds, self.iterations))
+
+
+class MultiIssueExplorer:
+    """The paper's ISE exploration algorithm ("MI")."""
+
+    def __init__(self, machine, params=None, constraints=None,
+                 database=None, technology=None, seed=0,
+                 priority="children"):
+        self.machine = machine
+        self.params = params or DEFAULT_PARAMS
+        constraints = constraints or DEFAULT_CONSTRAINTS
+        # The I/O-port constraints of §4.2 can never exceed the physical
+        # register-file ports of the machine.
+        rf = machine.register_file
+        self.constraints = constraints.with_(
+            n_in=min(constraints.n_in, rf.read_ports),
+            n_out=min(constraints.n_out, rf.write_ports))
+        self.database = database or DEFAULT_DATABASE
+        self.technology = technology or machine.technology or DEFAULT_TECHNOLOGY
+        self.seed = seed
+        self.priority = priority
+
+    # -- public API -------------------------------------------------------
+
+    def explore(self, dfg, io_tables=None):
+        """Explore one basic-block DFG; returns the best of ``restarts``
+        independent runs (fewest final cycles, then least area).
+
+        ``io_tables`` (uid → :class:`~repro.hwlib.options.IOTable`)
+        overrides the default database-driven tables — the hook through
+        which the §6 extensions (e.g. HW/SW partitioning) reuse the
+        engine with their own implementation options.
+        """
+        if io_tables is None:
+            io_tables = {
+                uid: default_io_table(dfg.op(uid), self.database)
+                for uid in dfg.nodes
+            }
+        best = None
+        for restart in range(self.params.restarts):
+            rng = random.Random("{}:{}:{}:{}".format(
+                self.seed, restart, dfg.function, dfg.label))
+            result = self._explore_once(dfg, rng, io_tables)
+            if best is None or self._better(result, best):
+                best = result
+        return best
+
+    @staticmethod
+    def _better(a, b):
+        return (a.final_cycles, a.total_area) < (b.final_cycles, b.total_area)
+
+    # -- one full exploration (all rounds) ------------------------------------
+
+    def _explore_once(self, original_dfg, rng, io_tables):
+        base_cycles = self._evaluate(original_dfg, [], io_tables)
+        current_dfg, current_tables = original_dfg, io_tables
+        candidates = []
+        best_cycles = base_cycles
+        rounds = iterations = 0
+        dry_rounds = 0
+        traces = []
+        while rounds < self.params.max_rounds and dry_rounds < 2:
+            round_result = self._run_round(current_dfg, current_tables, rng)
+            rounds += 1
+            iterations += round_result.iterations
+            traces.append(round_result.trace)
+            candidate_members = round_result.candidates
+            if not candidate_members:
+                dry_rounds += 1
+                continue
+            # Keep the single best new candidate of the round (the
+            # thesis explores one ISE per round).
+            scored = []
+            limit = self.constraints.max_ise_cycles
+            for members, option_of in candidate_members:
+                candidate = ISECandidate(
+                    original_dfg, members, option_of, self.technology)
+                if limit is not None and candidate.cycles > limit:
+                    continue          # pipestage timing constraint
+                trial = candidates + [candidate]
+                cycles = self._evaluate(original_dfg, trial, io_tables)
+                scored.append((cycles, candidate.area, candidate))
+            if not scored:
+                dry_rounds += 1
+                continue
+            scored.sort(key=lambda item: (item[0], item[1], sorted(item[2].members)))
+            cycles, __, winner = scored[0]
+            if cycles >= best_cycles:
+                # No performance gain this round; ACO is stochastic, so
+                # retry once before concluding no ISE remains.
+                dry_rounds += 1
+                continue
+            dry_rounds = 0
+            winner.cycle_saving = best_cycles - cycles
+            candidates.append(winner)
+            best_cycles = cycles
+            current_dfg, current_tables = contract_candidate(
+                current_dfg, winner, current_tables)
+        return ExplorationResult(original_dfg, candidates, base_cycles,
+                                 best_cycles, rounds, iterations,
+                                 traces=traces)
+
+    # -- one round (Fig. 4.3.1) --------------------------------------------------
+
+    def _run_round(self, dfg, io_tables, rng):
+        state = ExplorationState(dfg, io_tables, self.params,
+                                 priority=self.priority)
+        if not any(state.hardware_options(uid) for uid in dfg.nodes):
+            return _RoundResult([], 0)
+        tet_old = None
+        prev_order = {}
+        best_schedule = None
+        best_key = None
+        iterations = 0
+        trace = []
+        for _ in range(self.params.max_iterations):
+            schedule = self._run_iteration(dfg, state, rng)
+            iterations += 1
+            trace.append(schedule.makespan)
+            tet_old = update_trails(state, schedule, prev_order, tet_old)
+            prev_order = dict(schedule.order)
+            update_merits(dfg, state, schedule, self.constraints)
+            key = (schedule.makespan,
+                   sum(opt.area
+                       for c in schedule.clusters
+                       for opt in c.option_of.values()))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_schedule = schedule
+            if state.converged():
+                break
+        # Candidates from the converged choice AND from the best
+        # iteration seen: the colony's converged state occasionally
+        # drifts off the best schedule it constructed, so both sources
+        # are proposed and the caller keeps whichever evaluates better.
+        proposals = []
+        seen = set()
+        for chosen_hw, option_of in self._candidate_sources(
+                dfg, state, best_schedule):
+            for members in legalize_components(dfg, chosen_hw,
+                                               self.constraints):
+                if members in seen:
+                    continue
+                seen.add(members)
+                proposals.append(
+                    (members, {uid: option_of[uid] for uid in members}))
+        return _RoundResult(proposals, iterations, trace)
+
+    def _candidate_sources(self, dfg, state, best_schedule):
+        sources = [(self._final_hardware_set(dfg, state, best_schedule),
+                    self._final_options(dfg, state, best_schedule))]
+        if best_schedule is not None:
+            option_of = {}
+            for uid in dfg.nodes:
+                chosen = best_schedule.chosen.get(uid)
+                if chosen is not None and chosen.is_hardware:
+                    option_of[uid] = chosen
+            if option_of:
+                sources.append((set(option_of), option_of))
+        return sources
+
+    def _final_hardware_set(self, dfg, state, best_schedule):
+        """Taken-hardware nodes: converged sp winners, falling back to
+        the best iteration's realized choices."""
+        if state.converged():
+            chosen = set()
+            for uid in dfg.nodes:
+                option, __ = state.taken_option(uid)
+                if option.is_hardware:
+                    chosen.add(uid)
+            return chosen
+        if best_schedule is None:
+            return set()
+        return set(best_schedule.hardware_chosen_set())
+
+    def _final_options(self, dfg, state, best_schedule):
+        """Hardware option per node for candidate construction."""
+        options = {}
+        for uid in dfg.nodes:
+            hw = state.hardware_options(uid)
+            if not hw:
+                continue
+            if state.converged():
+                option, __ = state.taken_option(uid)
+                if not option.is_hardware:
+                    option = max(hw, key=lambda o: state.sp_of(uid)[o.label])
+            else:
+                chosen = (best_schedule.chosen.get(uid)
+                          if best_schedule is not None else None)
+                option = chosen if (chosen is not None
+                                    and chosen.is_hardware) else hw[0]
+            options[uid] = option
+        return options
+
+    # -- one iteration: Ready-Matrix driven construction ----------------------------
+
+    def _run_iteration(self, dfg, state, rng):
+        schedule = IterationSchedule(
+            dfg, self.machine, self.technology, self.constraints)
+        remaining_preds = {uid: dfg.graph.in_degree(uid) for uid in dfg.nodes}
+        ready = {uid for uid, count in remaining_preds.items() if count == 0}
+        unscheduled = set(dfg.nodes)
+        while unscheduled:
+            if not ready:
+                raise ExplorationError("ready set empty with work remaining")
+            entries = state.cp_weights(sorted(ready))
+            (uid, option) = _roulette(entries, rng)
+            if option.is_hardware:
+                schedule.schedule_hardware(uid, option)
+            else:
+                schedule.schedule_software(uid, option)
+            ready.discard(uid)
+            unscheduled.discard(uid)
+            for succ in dfg.successors(uid):
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    ready.add(succ)
+        return schedule.verify()
+
+    # -- deterministic evaluation of a candidate set -----------------------------------
+
+    def _evaluate(self, dfg, candidates, io_tables=None):
+        """Block cycles after fixing ``candidates`` (list scheduling)."""
+        groups = [(c.members, c.option_of) for c in candidates]
+        software_cycles = None
+        if io_tables is not None:
+            software_cycles = {uid: io_tables[uid].software[0].cycles
+                               for uid in dfg.nodes if uid in io_tables}
+        graph, units = contract_dfg(dfg, groups, self.technology,
+                                    software_cycles=software_cycles)
+        schedule = list_schedule(graph, units, self.machine)
+        return schedule.makespan
+
+
+class _RoundResult:
+    __slots__ = ("candidates", "iterations", "trace")
+
+    def __init__(self, candidates, iterations, trace=()):
+        self.candidates = candidates
+        self.iterations = iterations
+        self.trace = list(trace)
+
+
+def _roulette(entries, rng):
+    """Draw one entry proportionally to its weight."""
+    total = sum(weight for __, weight in entries)
+    pick = rng.random() * total
+    acc = 0.0
+    for value, weight in entries:
+        acc += weight
+        if pick <= acc:
+            return value
+    return entries[-1][0]

@@ -1,0 +1,301 @@
+"""The complete ISE design flow (Fig. 3.1.1).
+
+``profile → basic-block selection → ISE exploration → ISE merging →
+ISE selection + hardware sharing → ISE replacement + scheduling``.
+
+The flow separates the expensive part (profiling + exploration, done
+once per application/machine) from the cheap part (selection under a
+given area / ISE-count budget + replacement), so the evaluation sweeps
+of chapter 5 re-use one :class:`ExploredApplication` across budgets.
+"""
+
+from ..config import DEFAULT_CONSTRAINTS, DEFAULT_PARAMS
+from ..errors import ReproError
+from ..graph.dfg import build_dfg
+from ..hwlib.technology import DEFAULT_TECHNOLOGY
+from ..ir.analysis import liveness
+from ..ir.interp import Interpreter
+from ..ir.passes.pipeline import optimize
+from ..sched.list_scheduler import list_schedule
+from ..sched.units import contract_dfg
+from .exploration import MultiIssueExplorer
+from .merging import merge_candidates
+from .replacement import replace_and_schedule
+from .selection import select_ises
+
+
+class BlockInstance:
+    """One profiled basic block, lowered to DFG segments.
+
+    Blocks containing calls are split at call boundaries; each segment
+    schedules independently and the block costs the sum plus one cycle
+    per call and one for the terminator.  Only single-segment blocks
+    are eligible for ISE exploration.
+    """
+
+    def __init__(self, function, label, segments, calls, freq):
+        self.function = function
+        self.label = label
+        self.segments = segments
+        self.calls = calls
+        self.freq = freq
+        self.base_cycles = None      # set by the flow
+
+    @property
+    def explorable(self):
+        """True when the block can be handed to ISE exploration."""
+        return (self.freq > 0 and self.calls == 0
+                and len(self.segments) == 1 and len(self.segments[0]) > 0)
+
+    @property
+    def dfg(self):
+        """The single segment DFG of an explorable block."""
+        if not self.explorable:
+            raise ReproError("block {} is not explorable".format(self.label))
+        return self.segments[0]
+
+    @property
+    def weight(self):
+        """Hot-block ranking weight: frequency x base cycles."""
+        return self.freq * (self.base_cycles or 0)
+
+    def __repr__(self):
+        return "BlockInstance({}:{}, freq={}, base={})".format(
+            self.function, self.label, self.freq, self.base_cycles)
+
+
+class ExploredApplication:
+    """Profiling + exploration output, reusable across budgets."""
+
+    def __init__(self, program, machine, blocks, candidates, explored_labels,
+                 technology, constraints):
+        self.program = program
+        self.machine = machine
+        self.blocks = blocks
+        self.candidates = candidates
+        self.explored_labels = explored_labels
+        self.technology = technology
+        self.constraints = constraints
+
+    @property
+    def baseline_cycles(self):
+        """Whole-program cycles without any ISE."""
+        return sum(b.freq * (b.base_cycles + 1) for b in self.blocks
+                   if b.freq > 0)
+
+    def __repr__(self):
+        return "ExploredApplication({}, {} blocks, {} candidates)".format(
+            self.program.name, len(self.blocks), len(self.candidates))
+
+
+class FlowReport:
+    """Final metrics of one (application, machine, budget) evaluation."""
+
+    def __init__(self, explored, selection, final_cycles, block_results):
+        self.explored = explored
+        self.selection = selection
+        self.final_cycles = final_cycles
+        self.block_results = block_results
+
+    @property
+    def baseline_cycles(self):
+        """Whole-program cycles without any ISE."""
+        return self.explored.baseline_cycles
+
+    @property
+    def reduction(self):
+        """Execution-time reduction fraction (the figures' Y axis)."""
+        base = self.baseline_cycles
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.final_cycles / base
+
+    @property
+    def area(self):
+        """Shared silicon area of the selected ASFUs."""
+        return self.selection.area
+
+    @property
+    def num_ises(self):
+        """Number of ISEs selected."""
+        return self.selection.count
+
+    def __repr__(self):
+        return ("FlowReport({} -> {} cycles, -{:.2%}, {} ISEs, "
+                "{:.0f} um2)".format(
+                    self.baseline_cycles, self.final_cycles, self.reduction,
+                    self.num_ises, self.area))
+
+
+class ISEDesignFlow:
+    """Drives the full flow for one machine configuration."""
+
+    def __init__(self, machine, params=None, constraints=None,
+                 technology=None, seed=0, priority="children",
+                 coverage=0.95, max_blocks=8, max_dfg_nodes=220,
+                 explorer_factory=None):
+        self.machine = machine
+        self.params = params or DEFAULT_PARAMS
+        self.constraints = constraints or DEFAULT_CONSTRAINTS
+        self.technology = technology or DEFAULT_TECHNOLOGY
+        self.seed = seed
+        self.priority = priority
+        self.coverage = coverage
+        self.max_blocks = max_blocks
+        self.max_dfg_nodes = max_dfg_nodes
+        if explorer_factory is None:
+            explorer_factory = lambda flow: MultiIssueExplorer(
+                flow.machine, params=flow.params,
+                constraints=flow.constraints,
+                technology=flow.technology, seed=flow.seed,
+                priority=flow.priority)
+        self._explorer_factory = explorer_factory
+
+    # -- stage 1: profile + lower ------------------------------------------
+
+    def profile_blocks(self, program, args=()):
+        """Run the program, lower every block, attach frequencies."""
+        interp = Interpreter(program)
+        interp.run(args=args)
+        profile = interp.profile
+        blocks = []
+        for func in program.functions:
+            __, live_out = liveness(func)
+            for block in func.blocks:
+                segments, calls = _lower_segments(
+                    func, block, live_out[block.label])
+                freq = profile.count(func.name, block.label)
+                blocks.append(BlockInstance(
+                    func.name, block.label, segments, calls, freq))
+        for instance in blocks:
+            instance.base_cycles = self._block_cycles(instance, groups=None)
+        return blocks
+
+    def _block_cycles(self, instance, groups=None, selected=None):
+        """Body cycles of a block (sum of its segments).
+
+        ``selected`` (merged ISEs) triggers replacement per segment;
+        ``groups`` directly supplies contraction groups for the single
+        segment (explorer output).
+        """
+        total = instance.calls
+        for segment in instance.segments:
+            if len(segment) == 0:
+                continue
+            if selected is not None:
+                schedule, __ = replace_and_schedule(
+                    segment, selected, self.machine, self.technology,
+                    self.constraints, priority=self.priority)
+            else:
+                segment_groups = groups if groups is not None else []
+                graph, units = contract_dfg(
+                    segment, segment_groups, self.technology)
+                schedule = list_schedule(graph, units, self.machine,
+                                         priority=self.priority)
+            total += schedule.makespan
+        return total
+
+    # -- stage 2: hot-block selection + exploration --------------------------
+
+    def explore_application(self, program, args=(), opt_level=None):
+        """Profile, pick hot blocks, explore each; returns the bundle."""
+        if opt_level is not None:
+            program = optimize(program, opt_level)
+        blocks = self.profile_blocks(program, args=args)
+        hot = self._select_hot_blocks(blocks)
+        explorer = self._explorer_factory(self)
+        candidates = []
+        explored_labels = []
+        for instance in hot:
+            result = explorer.explore(instance.dfg)
+            explored_labels.append((instance.function, instance.label))
+            for candidate in result.candidates:
+                candidate.weighted_saving = (
+                    candidate.cycle_saving * instance.freq)
+                candidates.append(candidate)
+        return ExploredApplication(program, self.machine, blocks, candidates,
+                                   explored_labels, self.technology,
+                                   self.constraints)
+
+    def _select_hot_blocks(self, blocks):
+        eligible = [b for b in blocks
+                    if b.explorable and len(b.dfg) <= self.max_dfg_nodes
+                    and b.dfg.groupable_nodes()]
+        eligible.sort(key=lambda b: (-b.weight, b.function, b.label))
+        total = sum(b.weight for b in eligible)
+        if total <= 0:
+            return []
+        chosen, covered = [], 0.0
+        for block in eligible:
+            if len(chosen) >= self.max_blocks:
+                break
+            chosen.append(block)
+            covered += block.weight
+            if covered >= self.coverage * total:
+                break
+        return chosen
+
+    # -- stage 3: merge + select + replace + schedule ---------------------------
+
+    def evaluate(self, explored, constraints=None, enable_sharing=True):
+        """Select ISEs under ``constraints`` and produce final metrics."""
+        constraints = constraints or self.constraints
+        single_asfu = self.machine.fu_counts.get("asfu", 1) <= 1
+        merged = merge_candidates(explored.candidates,
+                                  single_asfu=single_asfu)
+        selection = select_ises(merged, constraints,
+                                enable_sharing=enable_sharing)
+        final_cycles = 0
+        block_results = {}
+        for instance in explored.blocks:
+            if instance.freq <= 0:
+                continue
+            if instance.explorable and selection.selected:
+                cycles = self._block_cycles(
+                    instance, selected=selection.selected)
+            else:
+                cycles = instance.base_cycles
+            # A compiler would keep the original code if replacement ever
+            # lost cycles; model that by clipping at the baseline.
+            cycles = min(cycles, instance.base_cycles)
+            block_results[(instance.function, instance.label)] = cycles
+            final_cycles += instance.freq * (cycles + 1)
+        return FlowReport(explored, selection, final_cycles, block_results)
+
+    def run(self, program, args=(), opt_level=None, constraints=None,
+            enable_sharing=True):
+        """Convenience: explore then evaluate with one budget."""
+        explored = self.explore_application(program, args=args,
+                                            opt_level=opt_level)
+        return self.evaluate(explored, constraints=constraints,
+                             enable_sharing=enable_sharing)
+
+
+def _lower_segments(func, block, live_out):
+    """Split a block body at calls and lower each segment to a DFG."""
+    from ..ir.function import BasicBlock
+
+    segments = []
+    calls = 0
+    current = BasicBlock(block.label + "#{}".format(len(segments)))
+    bodies = []
+    for instr in block.body:
+        if instr.is_call:
+            calls += 1
+            bodies.append(current)
+            current = BasicBlock(block.label + "#{}".format(len(bodies)))
+        else:
+            current.append(instr)
+    bodies.append(current)
+    for index, segment_block in enumerate(bodies):
+        is_last = index == len(bodies) - 1
+        if is_last:
+            segment_block.terminator = block.terminator
+            segment_live_out = live_out
+        else:
+            segment_live_out = func.virtual_registers()
+        segments.append(build_dfg(segment_block, segment_live_out,
+                                  function=func.name))
+    if len(bodies) == 1:
+        segments[0].label = block.label
+    return segments, calls

@@ -1,0 +1,85 @@
+"""Hardware-Grouping (Fig. 4.3.6).
+
+For every operation ``x`` with hardware options, grow the *virtual ISE
+candidate* ``vS(x)``: ``x`` plus every node reachable from it through
+operations that chose a hardware implementation option in the previous
+iteration.  Each hardware option ``j`` of ``x`` yields one evaluation
+``vS(x, HW-j)`` — the member set is the same, but ``x`` contributes
+option ``j``'s delay/area, so the measured execution time and silicon
+area differ per option (the thesis's vS5,1 / vS5,2 example).
+"""
+
+from ..graph.subgraph import grown_group
+from ..hwlib.asfu import subgraph_area, subgraph_delay_ns
+
+
+class VirtualGroup:
+    """One evaluated vS(x, HW-j)."""
+
+    __slots__ = ("seed", "option", "members", "delay_ns", "cycles", "area")
+
+    def __init__(self, seed, option, members, delay_ns, cycles, area):
+        self.seed = seed
+        self.option = option
+        self.members = frozenset(members)
+        self.delay_ns = delay_ns
+        self.cycles = cycles
+        self.area = area
+
+    @property
+    def size(self):
+        """Number of member operations of the virtual group."""
+        return len(self.members)
+
+    def __repr__(self):
+        return "VirtualGroup(#{} {} -> {} ops, {:.2f} ns, {:.0f} um2)".format(
+            self.seed, self.option.label, self.size, self.delay_ns, self.area)
+
+
+def hardware_grouping(dfg, state, prev_schedule):
+    """Evaluate vS(x, HW-j) for every hardware option of every operation.
+
+    Parameters
+    ----------
+    dfg:
+        The block DFG.
+    state:
+        The round's :class:`~repro.core.state.ExplorationState` (for
+        option tables).
+    prev_schedule:
+        Previous iteration's
+        :class:`~repro.core.iteration.IterationSchedule`; its
+        hardware-chosen set and per-member chosen options seed the
+        growth.
+
+    Returns dict ``(uid, option_label) → VirtualGroup``.
+    """
+    chosen_hw = prev_schedule.hardware_chosen_set()
+    groups = {}
+    for uid in dfg.nodes:
+        hw_options = state.hardware_options(uid)
+        if not hw_options:
+            continue
+        members = grown_group(dfg, uid, chosen_hw)
+        for option in hw_options:
+
+            def option_of(node, _seed=uid, _opt=option):
+                if node == _seed:
+                    return _opt
+                return prev_schedule.chosen[node]
+
+            delay = subgraph_delay_ns(dfg.graph, members, option_of)
+            area = subgraph_area(members, option_of)
+            cycles = prev_schedule.technology.cycles_for_delay(delay)
+            groups[(uid, option.label)] = VirtualGroup(
+                uid, option, members, delay, cycles, area)
+    return groups
+
+
+def best_group_of(groups, uid):
+    """HW-MAX of the thesis: the seed's option whose group executes
+    fastest (maximal execution-time reduction); ties break on area."""
+    candidates = [g for (seed, __), g in groups.items() if seed == uid]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda g: (g.cycles, g.delay_ns, g.area))

@@ -1,0 +1,224 @@
+"""One ACO iteration's incremental schedule (Operation-Scheduling).
+
+Implements Figs. 4.3.3/4.3.4: as the ant draws (operation, option)
+pairs, operations are placed into time slots under issue-width,
+register-port and function-unit constraints.  Operations that chose a
+hardware option try to *pack* into an ISE cluster started by one of
+their parents in the same time slot (combinational chaining inside the
+ASFU); failing that they open a new cluster at the earliest feasible
+slot.  Clusters grow as members join — their reservation (register
+ports, critical-path cycles) is revised in place.
+"""
+
+from ..errors import ExplorationError, SchedulingError
+from ..graph.analysis import input_values, output_values
+from ..hwlib.asfu import subgraph_delay_ns
+from ..sched.resources import Needs, ReservationTable
+
+
+class Cluster:
+    """An ISE under construction within one iteration's schedule."""
+
+    __slots__ = ("cid", "members", "start", "option_of", "delay_ns",
+                 "cycles", "needs")
+
+    def __init__(self, cid, start):
+        self.cid = cid
+        self.members = set()
+        self.start = start
+        self.option_of = {}
+        self.delay_ns = 0.0
+        self.cycles = 1
+        self.needs = None
+
+    def __repr__(self):
+        return "Cluster({} @C{}, {} ops, {} cyc)".format(
+            self.cid, self.start, len(self.members), self.cycles)
+
+
+class IterationSchedule:
+    """Incremental schedule for one solution-construction pass."""
+
+    def __init__(self, dfg, machine, technology, constraints):
+        self.dfg = dfg
+        self.machine = machine
+        self.technology = technology
+        self.constraints = constraints
+        self.table = ReservationTable(machine)
+        self.start = {}
+        self.chosen = {}
+        self.cluster_of = {}
+        self.clusters = []
+        self.order = {}
+        self._next_order = 0
+        self._next_cluster = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def is_scheduled(self, uid):
+        """True once ``uid`` has been placed."""
+        return uid in self.start
+
+    def finish(self, uid):
+        """First cycle after ``uid`` completes (cluster-aware)."""
+        cluster = self.cluster_of.get(uid)
+        if cluster is not None:
+            return cluster.start + cluster.cycles
+        option = self.chosen[uid]
+        return self.start[uid] + option.cycles
+
+    def data_ready(self, uid):
+        """Earliest start cycle permitted by already-placed parents."""
+        ready = 0
+        for pred in self.dfg.predecessors(uid):
+            ready = max(ready, self.finish(pred))
+        return ready
+
+    @property
+    def makespan(self):
+        """Cycles until the last placed operation finishes."""
+        if not self.start:
+            return 0
+        return max(self.finish(uid) for uid in self.start)
+
+    def chose_hardware(self, uid):
+        """True when ``uid`` sits in an ISE cluster."""
+        return uid in self.cluster_of
+
+    def hardware_chosen_set(self):
+        """All uids currently in clusters."""
+        return set(self.cluster_of)
+
+    # -- software placement (Fig. 4.3.3) ---------------------------------------
+
+    def schedule_software(self, uid, option):
+        """Place ``uid`` with a software option (Fig. 4.3.3)."""
+        operation = self.dfg.op(uid)
+        needs = Needs(reads=len(operation.sources),
+                      writes=len(operation.dests),
+                      fu_kind=option.fu_kind)
+        cycle = self.table.first_fit(needs, not_before=self.data_ready(uid))
+        self.table.place(cycle, needs)
+        self._commit(uid, option, cycle)
+
+    # -- hardware placement (Fig. 4.3.4) ----------------------------------------
+
+    def schedule_hardware(self, uid, option):
+        """Pack into a parent's cluster if possible, else open a new one."""
+        for cluster in self._parent_clusters(uid):
+            if self._try_join(cluster, uid, option):
+                self._commit(uid, option, cluster.start)
+                return
+        self._open_cluster(uid, option)
+
+    def _parent_clusters(self, uid):
+        """Clusters containing a parent, latest start first."""
+        seen = []
+        for pred in self.dfg.predecessors(uid):
+            cluster = self.cluster_of.get(pred)
+            if cluster is not None and cluster not in seen:
+                seen.append(cluster)
+        return sorted(seen, key=lambda c: -c.start)
+
+    def _try_join(self, cluster, uid, option):
+        """Fuse ``uid`` into ``cluster`` when legal and resource-feasible.
+
+        Fusion requires every parent of ``uid`` to either be a member of
+        the cluster or to have finished by the cluster's start slot, and
+        the grown cluster must respect the register-port constraints of
+        §4.2 as well as the cycle's remaining budget.
+        """
+        for pred in self.dfg.predecessors(uid):
+            if pred in cluster.members:
+                continue
+            if self.finish(pred) > cluster.start:
+                return False
+        new_members = cluster.members | {uid}
+        option_map = dict(cluster.option_of)
+        option_map[uid] = option
+        n_in = len(input_values(self.dfg, new_members))
+        n_out = len(output_values(self.dfg, new_members))
+        if n_in > self.constraints.n_in or n_out > self.constraints.n_out:
+            return False
+        new_delay = subgraph_delay_ns(
+            self.dfg.graph, new_members, option_map.__getitem__)
+        new_cycles = self.technology.cycles_for_delay(new_delay)
+        limit = self.constraints.max_ise_cycles
+        if limit is not None and new_cycles > limit:
+            return False              # pipestage timing constraint
+        # Growing the critical path must not overrun an already-placed
+        # consumer of any current member.
+        new_finish = cluster.start + new_cycles
+        for member in cluster.members:
+            for succ in self.dfg.successors(member):
+                if succ in new_members or succ not in self.start:
+                    continue
+                if self.start[succ] < new_finish:
+                    return False
+        new_needs = Needs(reads=n_in, writes=n_out, fu_kind="asfu")
+        self.table.release(cluster.start, cluster.needs)
+        if not self.table.fits(cluster.start, new_needs):
+            self.table.place(cluster.start, cluster.needs)
+            return False
+        self.table.place(cluster.start, new_needs)
+        cluster.members = new_members
+        cluster.option_of = option_map
+        cluster.needs = new_needs
+        cluster.delay_ns = new_delay
+        cluster.cycles = new_cycles
+        self.cluster_of[uid] = cluster
+        return True
+
+    def _open_cluster(self, uid, option):
+        members = {uid}
+        needs = Needs(reads=len(input_values(self.dfg, members)),
+                      writes=len(output_values(self.dfg, members)),
+                      fu_kind="asfu")
+        cycle = self.table.first_fit(needs, not_before=self.data_ready(uid))
+        self.table.place(cycle, needs)
+        cluster = Cluster(self._next_cluster, cycle)
+        self._next_cluster += 1
+        cluster.members = members
+        cluster.option_of = {uid: option}
+        cluster.needs = needs
+        cluster.delay_ns = option.delay_ns
+        cluster.cycles = self.technology.cycles_for_delay(option.delay_ns)
+        self.clusters.append(cluster)
+        self.cluster_of[uid] = cluster
+        self._commit(uid, option, cycle)
+
+    def _commit(self, uid, option, cycle):
+        if uid in self.start:
+            raise ExplorationError("operation {} scheduled twice".format(uid))
+        self.start[uid] = cycle
+        self.chosen[uid] = option
+        self.order[uid] = self._next_order
+        self._next_order = self._next_order + 1
+
+    # -- realized-assignment views --------------------------------------------
+
+    def ise_groups(self):
+        """The clusters as ``(members, option_of)`` pairs (for analysis)."""
+        return [(frozenset(c.members), dict(c.option_of))
+                for c in self.clusters]
+
+    def software_cycles(self):
+        """uid → latency of software-scheduled operations."""
+        return {uid: option.cycles
+                for uid, option in self.chosen.items()
+                if uid not in self.cluster_of}
+
+    def verify(self):
+        """Sanity-check dependences of the (possibly partial) schedule."""
+        for src, dst in self.dfg.graph.edges:
+            if src not in self.start or dst not in self.start:
+                continue
+            same_cluster = (self.cluster_of.get(src) is not None
+                            and self.cluster_of.get(src)
+                            is self.cluster_of.get(dst))
+            if same_cluster:
+                continue
+            if self.start[dst] < self.finish(src):
+                raise SchedulingError(
+                    "iteration schedule violates edge {}->{}".format(src, dst))
+        return self

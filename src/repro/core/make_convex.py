@@ -1,0 +1,121 @@
+"""Make-Convex and candidate legalisation.
+
+After a round converges, the taken-hardware nodes form connected
+components; a component may violate convexity (a dependence path leaves
+and re-enters it) or the register-port limits.  ``make_convex`` splits
+non-convex sets the way the thesis describes — repeatedly dividing the
+candidate into smaller ones until every piece is convex — and
+``legalize_components`` additionally trims pieces that overflow the
+I/O-port budget, so exploration always returns constraint-satisfying
+candidates.
+"""
+
+import networkx as nx
+
+from ..graph.analysis import input_values, is_convex, output_values
+from ..graph.subgraph import hardware_components
+
+
+def make_convex(dfg, members):
+    """Split ``members`` into convex connected pieces.
+
+    Strategy: while some piece is non-convex, find a *witness* node — a
+    non-member on a dependence path between two members — and cut the
+    piece at the witness's frontier: members that can reach the witness
+    are separated from members reachable from it.  Each resulting part
+    is re-split into connected components and re-checked.
+    """
+    pieces = [set(members)]
+    result = []
+    while pieces:
+        piece = pieces.pop()
+        if not piece:
+            continue
+        components = _components(dfg, piece)
+        if len(components) > 1:
+            pieces.extend(components)
+            continue
+        if is_convex(dfg, piece):
+            result.append(frozenset(piece))
+            continue
+        witness = _find_witness(dfg, piece)
+        ancestors = nx.ancestors(dfg.graph, witness)
+        upstream = piece & ancestors
+        downstream = piece - upstream
+        if not upstream or not downstream:
+            # Degenerate (should not happen): drop the largest offender
+            # to guarantee progress.
+            piece.discard(max(piece))
+            pieces.append(piece)
+            continue
+        pieces.append(upstream)
+        pieces.append(downstream)
+    return result
+
+
+def _components(dfg, piece):
+    sub = dfg.graph.subgraph(piece)
+    return [set(c) for c in nx.weakly_connected_components(sub)]
+
+
+def _find_witness(dfg, piece):
+    """A non-member on a member→member dependence path."""
+    descendants = set()
+    for uid in piece:
+        for succ in dfg.successors(uid):
+            if succ not in piece:
+                descendants.add(succ)
+    frontier = list(descendants)
+    while frontier:
+        node = frontier.pop()
+        for succ in dfg.successors(node):
+            if succ not in descendants and succ not in piece:
+                descendants.add(succ)
+                frontier.append(succ)
+    for node in sorted(descendants):
+        if any(succ in piece for succ in dfg.successors(node)):
+            return node
+    raise AssertionError("non-convex set without witness")
+
+
+def legalize_components(dfg, members, constraints):
+    """Convex, port-legal, multi-op candidates covering ``members``.
+
+    Pieces that overflow ``Nin``/``Nout`` shed boundary nodes (the one
+    consuming the most external inputs first) until legal; singletons
+    are dropped (a one-op ISE saves nothing, merit case 2).
+    """
+    legal = []
+    queue = list(make_convex(dfg, members))
+    while queue:
+        piece = set(queue.pop())
+        if len(piece) < 2:
+            continue
+        n_in = len(input_values(dfg, piece))
+        n_out = len(output_values(dfg, piece))
+        if n_in <= constraints.n_in and n_out <= constraints.n_out:
+            legal.append(frozenset(piece))
+            continue
+        shed = _worst_boundary_node(dfg, piece)
+        piece.discard(shed)
+        # Shedding may disconnect or un-convex the rest: restart the
+        # piece through make_convex.
+        queue.extend(make_convex(dfg, piece))
+    return legal
+
+
+def _worst_boundary_node(dfg, piece):
+    """Member contributing the most external input values (ties: most
+    external outputs, then highest uid so shedding is deterministic)."""
+
+    def badness(uid):
+        ext_in = len(input_values(dfg, {uid}) - input_values(dfg, piece - {uid}))
+        outs = len(output_values(dfg, {uid}))
+        return (ext_in, outs, uid)
+
+    return max(piece, key=badness)
+
+
+def extract_components(dfg, chosen_hw):
+    """Connected hardware components (pre Make-Convex)."""
+    return hardware_components(dfg, chosen_hw)

@@ -1,0 +1,129 @@
+"""Merit function — Fig. 4.3.7 (hardware) and Eq. 3' (software).
+
+The merit of an implementation option encodes "how much good would
+follow from choosing this option next iteration".  The hardware side is
+the paper's central contribution: it is *location-aware* — operations
+on the critical path are boosted (case 1), and legal virtual groups are
+scored by cycle saving, with the area/delay trade-off resolved
+differently on and off the critical path (case 4, using the Max_AEC
+slack window off-path).
+"""
+
+from ..graph.analysis import input_values, is_convex, output_values
+from .grouping import best_group_of, hardware_grouping
+
+
+def update_merits(dfg, state, schedule, constraints):
+    """Recompute every operation's option merits after an iteration.
+
+    Parameters
+    ----------
+    dfg / state:
+        The block DFG and round state (merits updated in place).
+    schedule:
+        The iteration's finished
+        :class:`~repro.core.iteration.IterationSchedule`.
+    constraints:
+        :class:`~repro.config.ISEConstraints` for case-3 checks.
+
+    Returns the :class:`~repro.core.analysis.ScheduleAnalysis` used, so
+    the caller can reuse the critical-path facts.
+    """
+    from .analysis import ScheduleAnalysis
+
+    params = state.params
+    analysis = ScheduleAnalysis(dfg, schedule)
+    groups = hardware_grouping(dfg, state, schedule)
+
+    for uid in dfg.nodes:
+        _update_software_merits(state, uid)
+        hw_options = state.hardware_options(uid)
+        if not hw_options:
+            continue
+        # Case 1 — critical-path boost (dividing by beta_cp < 1 raises
+        # the merit of every hardware option of a critical operation).
+        if (params.use_critical_path_boost and analysis.is_critical(uid)):
+            for option in hw_options:
+                key = (uid, option.label)
+                state.merit[key] /= params.beta_cp
+        best = best_group_of(groups, uid)
+        for option in hw_options:
+            key = (uid, option.label)
+            group = groups[(uid, option.label)]
+            state.merit[key] = _hardware_merit(
+                state.merit[key], dfg, analysis, group, best,
+                params, constraints, on_critical=analysis.is_critical(uid))
+    state.normalize_merits()
+    return analysis
+
+
+def _update_software_merits(state, uid):
+    """Software merit: multiply by the option's execution time (§4.3's
+    Eq. for merit_{x,SW-i}); with the per-op normalisation this biases
+    toward options proportionally to their latency contribution."""
+    for option in state.options[uid]:
+        if option.is_hardware:
+            continue
+        key = (uid, option.label)
+        state.merit[key] *= option.cycles
+
+
+def _hardware_merit(merit, dfg, analysis, group, best, params, constraints,
+                    on_critical):
+    """Cases 2-4 of Fig. 4.3.7 for one hardware option's virtual group."""
+    # Case 2 — singleton group cannot shorten any dependence chain.
+    if group.size == 1:
+        return merit * params.beta_size
+    # Case 3 — constraint violations damp but do not annihilate.
+    violated = False
+    if len(input_values(dfg, group.members)) > constraints.n_in:
+        merit *= params.beta_io
+        violated = True
+    if len(output_values(dfg, group.members)) > constraints.n_out:
+        merit *= params.beta_io
+        violated = True
+    if not is_convex(dfg, group.members):
+        merit *= params.beta_convex
+        violated = True
+    if violated:
+        return merit
+    # Case 4 — legal multi-op group: performance improvement check ...
+    saving = _cycle_saving(dfg, group)
+    merit *= saving if saving >= 1 else params.beta_size
+    # ... then hardware-usage check.
+    if on_critical or not params.use_slack_window:
+        if best is not None and group.cycles <= best.cycles:
+            if group.area > 0:
+                merit *= _area_ratio(best, group)
+        elif best is not None:
+            merit /= (1 + group.cycles - best.cycles)
+    else:
+        budget = analysis.max_aec(group.members)
+        if group.cycles <= budget:
+            if best is not None and group.area > 0:
+                merit *= _area_ratio(best, group)
+        else:
+            merit /= (1 + group.cycles - budget)
+    return merit
+
+
+def _area_ratio(best, group):
+    """Area(HW-MAX) / Area(HW-j): equal-speed smaller options win."""
+    if group.area <= 0:
+        return 1.0
+    return max(best.area, group.area) / group.area
+
+
+def _cycle_saving(dfg, group):
+    """Software chain length through the group minus its ASFU cycles."""
+    members = group.members
+    longest = {}
+    order = [uid for uid in dfg.nodes if uid in members]
+    for uid in order:
+        arrival = 0
+        for pred in dfg.predecessors(uid):
+            if pred in members:
+                arrival = max(arrival, longest.get(pred, 0))
+        longest[uid] = arrival + 1
+    software_chain = max(longest.values()) if longest else 0
+    return software_chain - group.cycles

@@ -1,0 +1,144 @@
+"""ISE replacement (final stage of Fig. 3.1.1).
+
+Given the selected ISEs, discover every occurrence of their patterns in
+every block DFG, prioritise the matches (longest collapsed dependence
+chain first), replace non-overlapping legal matches, and list-schedule
+the rewritten blocks to obtain final cycle counts.
+"""
+
+import networkx as nx
+
+from ..graph.analysis import is_legal
+from ..graph.subgraph import find_matches
+from ..sched.list_scheduler import list_schedule
+from ..sched.units import contract_dfg
+
+
+def plan_block_replacements(dfg, selected, constraints, technology=None):
+    """Choose disjoint pattern matches for one block.
+
+    Parameters
+    ----------
+    dfg:
+        The block DFG.
+    selected:
+        Iterable of :class:`~repro.core.merging.MergedISE`.
+    constraints:
+        The §4.2 constraints every match must satisfy in context.
+    technology:
+        Needed only when ``constraints.max_ise_cycles`` is set (the
+        pipestage-timing check on each realized match).
+
+    Returns a list of ``(members, option_of)`` groups ready for
+    :func:`~repro.sched.units.contract_dfg`.
+    """
+    proposals = []
+    for entry in selected:
+        rep = entry.representative
+        pattern = rep.pattern()
+        option_by_opcode = _options_by_opcode(rep)
+        for members in find_matches(dfg, pattern, constraints):
+            chain = _chain_length(dfg, members)
+            proposals.append((chain, len(members), members,
+                              option_by_opcode))
+    proposals.sort(key=lambda p: (-p[0], -p[1], sorted(p[2])))
+    used = set()
+    groups = []
+    for __, __, members, option_by_opcode in proposals:
+        if members & used:
+            continue
+        if not is_legal(dfg, members, constraints):
+            continue
+        option_of = {}
+        feasible = True
+        for uid in members:
+            option = option_by_opcode.get(dfg.op(uid).name)
+            if option is None:
+                feasible = False
+                break
+            option_of[uid] = option
+        if not feasible:
+            continue
+        if not _meets_pipestage_limit(dfg, members, option_of,
+                                      constraints, technology):
+            continue
+        # Two individually-convex groups can still be mutually entangled
+        # (A -> x -> B and B -> y -> A); the joint contraction must stay
+        # acyclic for the block to remain schedulable.
+        if not _jointly_acyclic(dfg, [g for g, __ in groups] + [members]):
+            continue
+        groups.append((frozenset(members), option_of))
+        used |= members
+    return groups
+
+
+def _meets_pipestage_limit(dfg, members, option_of, constraints,
+                           technology):
+    """Pipestage timing: the realized match must fit the cycle budget."""
+    limit = constraints.max_ise_cycles
+    if limit is None or technology is None:
+        return True
+    from ..hwlib.asfu import subgraph_delay_ns
+    delay = subgraph_delay_ns(dfg.graph, members, option_of.__getitem__)
+    return technology.cycles_for_delay(delay) <= limit
+
+
+def _jointly_acyclic(dfg, member_sets):
+    """True when contracting all ``member_sets`` leaves a DAG."""
+    group_of = {}
+    for index, members in enumerate(member_sets):
+        for uid in members:
+            group_of[uid] = "g{}".format(index)
+    quotient = nx.DiGraph()
+    for src, dst in dfg.graph.edges:
+        u = group_of.get(src, src)
+        v = group_of.get(dst, dst)
+        if u != v:
+            quotient.add_edge(u, v)
+    return nx.is_directed_acyclic_graph(quotient)
+
+
+def _options_by_opcode(candidate):
+    """Opcode → hardware option used in the representative candidate.
+
+    When the candidate uses several options for one opcode the fastest
+    is kept — the ASFU instantiates the faster unit anyway when sites
+    share hardware.
+    """
+    table = {}
+    for uid in candidate.members:
+        opcode = candidate.dfg.op(uid).name
+        option = candidate.option_of[uid]
+        current = table.get(opcode)
+        if current is None or option.delay_ns < current.delay_ns:
+            table[opcode] = option
+    return table
+
+
+def _chain_length(dfg, members):
+    """Dependence-chain cycles the match would collapse."""
+    longest = {}
+    for uid in nx.topological_sort(dfg.graph.subgraph(members)):
+        arrival = 0
+        for pred in dfg.predecessors(uid):
+            if pred in members:
+                arrival = max(arrival, longest[pred])
+        longest[uid] = arrival + 1
+    return max(longest.values()) if longest else 0
+
+
+def schedule_with_ises(dfg, groups, machine, technology,
+                       priority="children"):
+    """Contract ``groups`` into ``dfg`` and list-schedule the result."""
+    graph, units = contract_dfg(dfg, groups, technology)
+    return list_schedule(graph, units, machine, priority=priority)
+
+
+def replace_and_schedule(dfg, selected, machine, technology, constraints,
+                         priority="children"):
+    """Full replacement of one block; returns ``(schedule, groups)``."""
+    groups = plan_block_replacements(dfg, selected, constraints,
+                                     technology=technology)
+    schedule = schedule_with_ises(dfg, groups, machine, technology,
+                                  priority=priority)
+    return schedule, groups

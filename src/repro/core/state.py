@@ -1,0 +1,154 @@
+"""Per-round ACO state: trails, merits and the probability formulas.
+
+One :class:`ExplorationState` instance lives for one exploration round.
+It stores, for every (operation, implementation option) pair, the trail
+(pheromone) and merit values, and computes the thesis's two probability
+formulas:
+
+* Eq. 1 — *chosen probability* (cp), normalised over every option of
+  every operation currently in the Ready-Matrix, including the
+  scheduling-priority (SP) term;
+* Eq. 3 — *selected probability* (sp), normalised per operation, used
+  by the convergence test against ``P_END``.
+"""
+
+from ..errors import ExplorationError
+
+
+class ExplorationState:
+    """Trail/merit store for one round of exploration."""
+
+    def __init__(self, dfg, io_tables, params, priority="children"):
+        self.dfg = dfg
+        self.params = params
+        #: uid -> tuple of ImplementationOption
+        self.options = {}
+        self.trail = {}
+        self.merit = {}
+        for uid in dfg.nodes:
+            table = io_tables[uid]
+            opts = tuple(table)
+            self.options[uid] = opts
+            for option in opts:
+                key = (uid, option.label)
+                self.trail[key] = params.initial_trail
+                if option.is_hardware:
+                    self.merit[key] = params.initial_merit_hardware
+                else:
+                    self.merit[key] = params.initial_merit_software
+        # SP: the scheduling priority term of Eq. 1.  The paper uses the
+        # number of child operations; §6 suggests trying mobility/depth,
+        # so the function is pluggable.  Values are frozen for the round
+        # and normalised to the merit scale so the lambda weight is
+        # comparable across DFG sizes.
+        from ..sched.priorities import get_priority
+
+        raw = get_priority(priority)(dfg.graph)
+        lowest = min(raw.values(), default=0)
+        shifted = {uid: raw[uid] - lowest for uid in raw}
+        peak = max(shifted.values(), default=0)
+        scale = params.merit_scale / peak if peak else 0.0
+        self.sp_term = {uid: shifted.get(uid, 0) * scale
+                        for uid in dfg.nodes}
+
+    # -- access -----------------------------------------------------------
+
+    def option(self, uid, label):
+        """Look up one option of ``uid`` by label."""
+        for option in self.options[uid]:
+            if option.label == label:
+                return option
+        raise ExplorationError(
+            "operation {} has no option {!r}".format(uid, label))
+
+    def hardware_options(self, uid):
+        """The hardware options of operation ``uid``."""
+        return [opt for opt in self.options[uid] if opt.is_hardware]
+
+    def keys_of(self, uid):
+        """The (uid, label) merit/trail keys of operation ``uid``."""
+        return [(uid, option.label) for option in self.options[uid]]
+
+    # -- Eq. 1: chosen probability over the Ready-Matrix -------------------
+
+    def cp_weights(self, ready_uids):
+        """Unnormalised cp numerators of every ready (op, option) pair.
+
+        Returns a list of ``((uid, option), weight)``.  Weights are
+        clipped to a tiny positive floor so the roulette wheel is always
+        well defined (Eq. 1 divides by their sum).
+        """
+        params = self.params
+        entries = []
+        for uid in ready_uids:
+            sp = self.sp_term.get(uid, 0.0)
+            for option in self.options[uid]:
+                key = (uid, option.label)
+                weight = (params.alpha * self.trail[key]
+                          + (1.0 - params.alpha) * self.merit[key]
+                          + params.lam * sp)
+                entries.append(((uid, option), max(weight, 1e-12)))
+        return entries
+
+    # -- Eq. 3: selected probability per operation ---------------------------
+
+    def sp_of(self, uid):
+        """Per-option selected probabilities of one operation (Eq. 3)."""
+        params = self.params
+        numerators = {}
+        for option in self.options[uid]:
+            key = (uid, option.label)
+            value = (params.alpha * self.trail[key]
+                     + (1.0 - params.alpha) * self.merit[key])
+            numerators[option.label] = max(value, 0.0)
+        total = sum(numerators.values())
+        if total <= 0.0:
+            uniform = 1.0 / len(numerators)
+            return {label: uniform for label in numerators}
+        return {label: value / total for label, value in numerators.items()}
+
+    def taken_option(self, uid):
+        """Option with maximal sp, and that sp value."""
+        sp = self.sp_of(uid)
+        label = max(sp, key=lambda lbl: (sp[lbl], lbl))
+        return self.option(uid, label), sp[label]
+
+    def converged(self):
+        """End condition: every operation has an option with sp ≥ P_END."""
+        p_end = self.params.p_end
+        for uid in self.options:
+            __, best = self.taken_option(uid)
+            if best < p_end:
+                return False
+        return True
+
+    # -- maintenance ------------------------------------------------------------
+
+    def clip_trails(self):
+        """Trails never go negative (keeps Eq. 1/3 well-formed)."""
+        for key, value in self.trail.items():
+            if value < 0.0:
+                self.trail[key] = 0.0
+
+    def normalize_merits(self):
+        """Rescale each operation's merit vector to the configured scale.
+
+        §4.3: "the merit values of operation must be normalized after
+        performing merit computation" so that picking among ready
+        operations stays fair.  Each operation's merits are scaled to
+        sum to ``merit_scale × #options`` with a floor per option.
+        """
+        params = self.params
+        for uid, opts in self.options.items():
+            keys = [(uid, option.label) for option in opts]
+            total = sum(self.merit[key] for key in keys)
+            target = params.merit_scale * len(keys)
+            if total <= 0.0:
+                value = params.merit_scale
+                for key in keys:
+                    self.merit[key] = value
+                continue
+            factor = target / total
+            for key in keys:
+                self.merit[key] = max(self.merit[key] * factor,
+                                      params.merit_floor)

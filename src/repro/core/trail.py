@@ -1,0 +1,55 @@
+"""Trail (pheromone) update — Fig. 4.3.5.
+
+After each iteration the total execution time (TET) of the constructed
+schedule is compared with the previous iteration's:
+
+* improved or equal — chosen options gain ``ρ1``, unchosen lose ``ρ2``
+  (and the reference TET is updated);
+* regressed — chosen options lose ``ρ3``, unchosen gain ``ρ4``, and
+  every option of operations whose draw order moved *earlier* than in
+  the previous iteration additionally loses ``ρ5`` (the reordering is
+  blamed for the slowdown).
+"""
+
+
+def update_trails(state, schedule, prev_order, tet_old):
+    """Apply the Fig. 4.3.5 rule; returns the new reference TET.
+
+    Parameters
+    ----------
+    state:
+        The round's :class:`~repro.core.state.ExplorationState`.
+    schedule:
+        The just-finished
+        :class:`~repro.core.iteration.IterationSchedule`.
+    prev_order:
+        dict uid → draw index of the previous iteration (empty for the
+        first iteration).
+    tet_old:
+        Reference TET (``None`` on the first iteration — treated as an
+        improvement so the first solution is reinforced).
+    """
+    params = state.params
+    tet_new = schedule.makespan
+    improved = tet_old is None or tet_new <= tet_old
+    for uid, options in state.options.items():
+        chosen_label = schedule.chosen[uid].label
+        moved_earlier = (
+            uid in prev_order
+            and schedule.order[uid] < prev_order[uid])
+        for option in options:
+            key = (uid, option.label)
+            if improved:
+                if option.label == chosen_label:
+                    state.trail[key] += params.rho1
+                else:
+                    state.trail[key] -= params.rho2
+            else:
+                if option.label == chosen_label:
+                    state.trail[key] -= params.rho3
+                else:
+                    state.trail[key] += params.rho4
+                if moved_earlier:
+                    state.trail[key] -= params.rho5
+    state.clip_trails()
+    return tet_new if improved else tet_old

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  Subclasses are
+grouped by subsystem so tests can assert on precise failure modes.
+"""
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class ISAError(ReproError):
+    """Problems with instruction definitions or operand usage."""
+
+
+class UnknownOpcodeError(ISAError):
+    """An opcode name does not exist in the PISA-like instruction set."""
+
+    def __init__(self, name):
+        super().__init__("unknown opcode: {!r}".format(name))
+        self.name = name
+
+
+class IRError(ReproError):
+    """Malformed intermediate representation."""
+
+
+class VerificationError(IRError):
+    """An IR function failed structural verification."""
+
+
+class InterpreterError(ReproError):
+    """Runtime failure while interpreting an IR function."""
+
+
+class TrapError(InterpreterError):
+    """The interpreted program performed an illegal action (e.g. division
+    by zero or an out-of-bounds memory access)."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """The interpreter executed more steps than its configured budget."""
+
+
+class SchedulingError(ReproError):
+    """The list scheduler could not produce a legal schedule."""
+
+
+class ExplorationError(ReproError):
+    """The ISE exploration algorithm hit an unrecoverable state."""
+
+
+class ConvergenceError(ExplorationError):
+    """A round failed to converge within the iteration budget."""
+
+
+class ConstraintError(ReproError):
+    """An ISE candidate violates a physical constraint."""
+
+
+class ConfigError(ReproError):
+    """Invalid parameter configuration."""

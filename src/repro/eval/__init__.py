@@ -1,0 +1,78 @@
+"""Chapter-5 experiment harness: runner, experiments, reporting."""
+
+from .metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    reduction_percent,
+    summarize,
+)
+from .runner import (
+    ALGORITHMS,
+    EvalContext,
+    PROFILES,
+    area_constraint,
+    count_constraint,
+    default_profile,
+    machine_for_case,
+)
+from .experiments import (
+    AREA_BUDGETS,
+    ISE_COUNTS,
+    figure_5_2_1,
+    figure_5_2_2,
+    figure_5_2_3,
+    headline_single_ise,
+    headline_vs_baseline,
+    per_workload_table,
+)
+from .reporting import (
+    render_area_vs_reduction,
+    render_headline,
+    render_per_workload,
+    render_stacked_figure,
+    render_table_5_1_1,
+)
+from .stats import ExplorationStats, stats_of
+from .persistence import (
+    candidate_record,
+    figure_record,
+    load_figure,
+    load_json,
+    report_record,
+    save_json,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AREA_BUDGETS",
+    "EvalContext",
+    "ExplorationStats",
+    "ISE_COUNTS",
+    "PROFILES",
+    "candidate_record",
+    "figure_record",
+    "load_figure",
+    "load_json",
+    "report_record",
+    "save_json",
+    "stats_of",
+    "area_constraint",
+    "arithmetic_mean",
+    "count_constraint",
+    "default_profile",
+    "figure_5_2_1",
+    "figure_5_2_2",
+    "figure_5_2_3",
+    "geometric_mean",
+    "headline_single_ise",
+    "headline_vs_baseline",
+    "machine_for_case",
+    "per_workload_table",
+    "reduction_percent",
+    "render_area_vs_reduction",
+    "render_headline",
+    "render_per_workload",
+    "render_stacked_figure",
+    "render_table_5_1_1",
+    "summarize",
+]

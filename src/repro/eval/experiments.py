@@ -1,0 +1,147 @@
+"""The chapter-5 experiments (Figs. 5.2.1-5.2.3 and the headlines).
+
+Each function regenerates one paper artefact as structured rows; the
+:mod:`repro.eval.reporting` helpers render them in the figures' layout.
+The figure grids follow §5.2:
+
+* X axis labels ``MI/SI (ports, issue, opt)`` over the six machine
+  cases × two optimisation levels;
+* Fig. 5.2.1 stacks area budgets 20k…320k µm²;
+* Fig. 5.2.2 stacks ISE-count budgets 1…32;
+* Fig. 5.2.3 plots area cost vs reduction over the ISE-count sweep;
+* the abstract headlines summarise (max, min, avg) over the cases.
+"""
+
+from ..config import ISEConstraints
+from ..sched.machine import PAPER_CASES
+from .metrics import summarize
+from .runner import EvalContext, machine_for_case
+
+AREA_BUDGETS = (20_000, 40_000, 80_000, 160_000, 320_000)
+ISE_COUNTS = (1, 2, 4, 8, 16, 32)
+OPT_LEVELS = ("O0", "O3")
+ALGORITHMS = ("MI", "SI")
+
+
+def _case_columns(cases=PAPER_CASES, opts=OPT_LEVELS, algos=ALGORITHMS):
+    """The figure's X-axis columns: (algo, ports, issue, opt)."""
+    for algo in algos:
+        for ports, issue in cases:
+            for opt in opts:
+                yield (algo, ports, issue, opt)
+
+
+def figure_5_2_1(ctx=None, budgets=AREA_BUDGETS, cases=PAPER_CASES,
+                 opts=OPT_LEVELS, algos=ALGORITHMS):
+    """Execution-time reduction under silicon-area constraints.
+
+    Returns ``{(algo, ports, issue, opt): {budget: avg_reduction_pct}}``.
+    """
+    ctx = ctx or EvalContext()
+    rows = {}
+    for algo, ports, issue, opt in _case_columns(cases, opts, algos):
+        machine = machine_for_case(ports, issue)
+        per_budget = {}
+        for budget in budgets:
+            per_budget[budget] = ctx.average_reduction(
+                machine, opt, algo, ISEConstraints(max_area=budget))
+        rows[(algo, ports, issue, opt)] = per_budget
+    return rows
+
+
+def figure_5_2_2(ctx=None, counts=ISE_COUNTS, cases=PAPER_CASES,
+                 opts=OPT_LEVELS, algos=ALGORITHMS):
+    """Execution-time reduction for different numbers of ISEs.
+
+    Returns ``{(algo, ports, issue, opt): {count: avg_reduction_pct}}``.
+    """
+    ctx = ctx or EvalContext()
+    rows = {}
+    for algo, ports, issue, opt in _case_columns(cases, opts, algos):
+        machine = machine_for_case(ports, issue)
+        per_count = {}
+        for count in counts:
+            per_count[count] = ctx.average_reduction(
+                machine, opt, algo, ISEConstraints(max_ises=count))
+        rows[(algo, ports, issue, opt)] = per_count
+    return rows
+
+
+def figure_5_2_3(ctx=None, counts=ISE_COUNTS, ports="4/2", issue=2,
+                 opt="O3", algos=ALGORITHMS):
+    """Silicon-area cost vs execution-time reduction (one machine).
+
+    Returns ``{algo: [(count, avg_area_um2, avg_reduction_pct), ...]}``.
+    """
+    ctx = ctx or EvalContext()
+    machine = machine_for_case(ports, issue)
+    series = {}
+    for algo in algos:
+        points = []
+        for count in counts:
+            constraints = ISEConstraints(max_ises=count)
+            area = ctx.average_area(machine, opt, algo, constraints)
+            red = ctx.average_reduction(machine, opt, algo, constraints)
+            points.append((count, area, red))
+        series[algo] = points
+    return series
+
+
+def headline_single_ise(ctx=None, cases=PAPER_CASES, opts=OPT_LEVELS):
+    """Abstract headline H1: reduction with exactly one ISE vs no ISE.
+
+    Paper: 17.17 / 12.9 / 14.79 % (max / min / avg over the cases).
+    Returns ``((max, min, avg), {case_label: avg_reduction_pct})``.
+    """
+    ctx = ctx or EvalContext()
+    per_case = {}
+    for ports, issue in cases:
+        machine = machine_for_case(ports, issue)
+        for opt in opts:
+            value = ctx.average_reduction(
+                machine, opt, "MI", ISEConstraints(max_ises=1))
+            per_case["{} {}".format(machine.label, opt)] = value
+    return summarize(per_case.values()), per_case
+
+
+def per_workload_table(ctx=None, ports="4/2", issue=2, opt="O3",
+                       algos=ALGORITHMS, budget=80_000):
+    """Per-benchmark breakdown on one machine (thesis-style table).
+
+    Returns ``{workload: {algo: (reduction_pct, num_ises, area)}}``.
+    """
+    ctx = ctx or EvalContext()
+    machine = machine_for_case(ports, issue)
+    constraints = ISEConstraints(max_area=budget)
+    table = {}
+    for name in ctx.workload_names:
+        row = {}
+        for algo in algos:
+            report = ctx.report(name, machine, opt, algo, constraints)
+            row[algo] = (100.0 * report.reduction, report.num_ises,
+                         report.area)
+        table[name] = row
+    return table
+
+
+def headline_vs_baseline(ctx=None, cases=PAPER_CASES, opts=OPT_LEVELS,
+                         budgets=AREA_BUDGETS):
+    """Abstract headline H2: MI minus SI under equal area budgets.
+
+    Paper: 11.39 / 2.87 / 7.16 % further reduction (max / min / avg).
+    Returns ``((max, min, avg), {case_label: avg_gap_pct})``.
+    """
+    ctx = ctx or EvalContext()
+    per_case = {}
+    for ports, issue in cases:
+        machine = machine_for_case(ports, issue)
+        for opt in opts:
+            gaps = []
+            for budget in budgets:
+                constraints = ISEConstraints(max_area=budget)
+                mi = ctx.average_reduction(machine, opt, "MI", constraints)
+                si = ctx.average_reduction(machine, opt, "SI", constraints)
+                gaps.append(mi - si)
+            per_case["{} {}".format(machine.label, opt)] = (
+                sum(gaps) / len(gaps))
+    return summarize(per_case.values()), per_case

@@ -1,0 +1,39 @@
+"""Metric helpers for the chapter-5 experiments."""
+
+import math
+
+from ..errors import ReproError
+
+
+def reduction_percent(base_cycles, final_cycles):
+    """Execution-time reduction in percent (the figures' Y axis)."""
+    if base_cycles <= 0:
+        raise ReproError("baseline cycles must be positive")
+    return 100.0 * (1.0 - final_cycles / base_cycles)
+
+
+def arithmetic_mean(values):
+    """Plain average of the values."""
+    values = list(values)
+    if not values:
+        raise ReproError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values):
+    """Geometric mean (arithmetic fallback at zeros)."""
+    values = list(values)
+    if not values:
+        raise ReproError("mean of empty sequence")
+    if any(v <= 0 for v in values):
+        # Reductions can legitimately be 0%; fall back to arithmetic.
+        return arithmetic_mean(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def summarize(values):
+    """(max, min, avg) triple — the abstract's reporting format."""
+    values = list(values)
+    if not values:
+        raise ReproError("summary of empty sequence")
+    return max(values), min(values), arithmetic_mean(values)

@@ -1,0 +1,79 @@
+"""ASCII rendering of the experiment results in the figures' layout."""
+
+
+def _column_label(column):
+    algo, ports, issue, opt = column
+    return "{} ({}, {}IS, {})".format(algo, ports, issue, opt)
+
+
+def render_stacked_figure(rows, level_header, title):
+    """Figs. 5.2.1/5.2.2: one line per X-axis column, one numeric cell
+    per stacked level (area budget or ISE count)."""
+    levels = sorted(next(iter(rows.values())).keys())
+    header = "{:28s}".format("configuration")
+    header += "".join("{:>12}".format(
+        "{}{}".format(level_header, lvl)) for lvl in levels)
+    lines = [title, header, "-" * len(header)]
+    for column in rows:
+        cells = rows[column]
+        line = "{:28s}".format(_column_label(column))
+        line += "".join("{:>11.2f}%".format(cells[lvl]) for lvl in levels)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_area_vs_reduction(series, title):
+    """Fig. 5.2.3: per algorithm, area cost and reduction per #ISEs."""
+    lines = [title,
+             "{:>8} {:>6} {:>16} {:>12}".format(
+                 "algo", "#ISEs", "area (um2)", "reduction")]
+    lines.append("-" * 46)
+    for algo, points in series.items():
+        for count, area, red in points:
+            lines.append("{:>8} {:>6} {:>16.0f} {:>11.2f}%".format(
+                algo, count, area, red))
+    return "\n".join(lines)
+
+
+def render_headline(name, paper_triple, measured_triple, per_case):
+    """Abstract headline: paper vs measured (max/min/avg) + breakdown."""
+    lines = [name]
+    lines.append("  paper    max={:6.2f}%  min={:6.2f}%  avg={:6.2f}%".format(
+        *paper_triple))
+    lines.append("  measured max={:6.2f}%  min={:6.2f}%  avg={:6.2f}%".format(
+        *measured_triple))
+    for label in sorted(per_case):
+        lines.append("    {:20s} {:6.2f}%".format(label, per_case[label]))
+    return "\n".join(lines)
+
+
+def render_per_workload(table, title):
+    """Per-benchmark breakdown: one row per workload, MI/SI cells."""
+    algos = sorted(next(iter(table.values())).keys())
+    header = "{:10s}".format("workload")
+    for algo in algos:
+        header += "{:>12} {:>6} {:>10}".format(
+            algo + " red.", "#ISE", "area")
+    lines = [title, header, "-" * len(header)]
+    for name in table:
+        line = "{:10s}".format(name)
+        for algo in algos:
+            red, count, area = table[name][algo]
+            line += "{:>11.2f}% {:>6} {:>10.0f}".format(red, count, area)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_table_5_1_1(database):
+    """Table 5.1.1: the hardware implementation-option settings."""
+    lines = ["Table 5.1.1: hardware implementation option settings",
+             "{:28s} {:>12} {:>12}".format("operation", "delay (ns)",
+                                           "area (um2)")]
+    lines.append("-" * 54)
+    for group, points in database.rows():
+        label = " ".join(group)
+        for delay, area in points:
+            lines.append("{:28s} {:>12.2f} {:>12.2f}".format(
+                label, delay, area))
+            label = ""
+    return "\n".join(lines)

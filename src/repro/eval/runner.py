@@ -1,0 +1,147 @@
+"""Experiment runner with cached exploration.
+
+Exploration (ACO, per workload × machine × opt-level × algorithm) is
+the expensive part of every chapter-5 experiment, while budget sweeps
+(area, ISE count) only redo selection + replacement.  The
+:class:`EvalContext` caches :class:`~repro.core.flow.ExploredApplication`
+bundles so one pytest session regenerates all three figures from a
+single exploration pass.
+
+Effort profiles trade fidelity for wall-clock:
+
+* ``quick``  — iterations=80, 1 restart, 4 hot blocks (default; the
+  qualitative shape of every figure is stable at this effort),
+* ``normal`` — iterations=120, 2 restarts, 6 hot blocks,
+* ``full``   — the paper's §5.1 settings (400 iterations to
+  convergence, 5 restarts).
+
+Select via ``EvalContext(profile=...)`` or the ``REPRO_EVAL_PROFILE``
+environment variable.
+"""
+
+import os
+
+from ..baselines import greedy_explorer_factory, si_explorer_factory
+from ..config import ExplorationParams, ISEConstraints
+from ..core.flow import ISEDesignFlow
+from ..errors import ReproError
+from ..sched.machine import MachineConfig
+from ..workloads import all_workloads, get_workload
+
+PROFILES = {
+    "quick": dict(max_iterations=80, restarts=1, max_rounds=12,
+                  max_blocks=4),
+    "normal": dict(max_iterations=120, restarts=2, max_rounds=12,
+                   max_blocks=6),
+    "full": dict(max_iterations=400, restarts=5, max_rounds=16,
+                 max_blocks=8),
+}
+
+ALGORITHMS = ("MI", "SI", "GREEDY")
+
+
+def default_profile():
+    """Effort profile from REPRO_EVAL_PROFILE (or quick)."""
+    return os.environ.get("REPRO_EVAL_PROFILE", "quick")
+
+
+class EvalContext:
+    """Caches explorations; serves budget-sweep evaluations."""
+
+    def __init__(self, profile=None, seed=7, workload_names=None):
+        profile = profile or default_profile()
+        if profile not in PROFILES:
+            raise ReproError(
+                "unknown profile {!r}; choose from {}".format(
+                    profile, sorted(PROFILES)))
+        self.profile = profile
+        self.seed = seed
+        settings = PROFILES[profile]
+        self.params = ExplorationParams(
+            max_iterations=settings["max_iterations"],
+            restarts=settings["restarts"],
+            max_rounds=settings["max_rounds"])
+        self.max_blocks = settings["max_blocks"]
+        if workload_names is None:
+            workload_names = [w.name for w in all_workloads()]
+        self.workload_names = list(workload_names)
+        self._cache = {}
+        self._programs = {}
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _program(self, workload_name):
+        if workload_name not in self._programs:
+            self._programs[workload_name] = get_workload(workload_name).build()
+        return self._programs[workload_name]
+
+    def _flow(self, machine, algorithm):
+        factory = None
+        if algorithm == "SI":
+            factory = si_explorer_factory
+        elif algorithm == "GREEDY":
+            factory = greedy_explorer_factory
+        elif algorithm != "MI":
+            raise ReproError("unknown algorithm {!r}".format(algorithm))
+        return ISEDesignFlow(
+            machine, params=self.params, seed=self.seed,
+            max_blocks=self.max_blocks, explorer_factory=factory)
+
+    def explored(self, workload_name, machine, opt_level, algorithm="MI"):
+        """Cached ``(flow, ExploredApplication)`` for one cell."""
+        key = (workload_name, machine.label, opt_level, algorithm)
+        if key not in self._cache:
+            program, args = self._program(workload_name)
+            flow = self._flow(machine, algorithm)
+            explored = flow.explore_application(
+                program, args=args, opt_level=opt_level)
+            self._cache[key] = (flow, explored)
+        return self._cache[key]
+
+    # -- metrics -------------------------------------------------------------
+
+    def report(self, workload_name, machine, opt_level, algorithm,
+               constraints):
+        """Full FlowReport for one grid cell under ``constraints``."""
+        flow, explored = self.explored(
+            workload_name, machine, opt_level, algorithm)
+        return flow.evaluate(explored, constraints)
+
+    def reduction(self, workload_name, machine, opt_level, algorithm,
+                  constraints):
+        """Execution-time reduction in percent for one cell."""
+        return 100.0 * self.report(
+            workload_name, machine, opt_level, algorithm,
+            constraints).reduction
+
+    def average_reduction(self, machine, opt_level, algorithm, constraints):
+        """Mean reduction over the workload suite (one figure bar)."""
+        values = [
+            self.reduction(name, machine, opt_level, algorithm, constraints)
+            for name in self.workload_names
+        ]
+        return sum(values) / len(values)
+
+    def average_area(self, machine, opt_level, algorithm, constraints):
+        """Mean selected-ASFU area over the workload suite."""
+        values = [
+            self.report(name, machine, opt_level, algorithm,
+                        constraints).area
+            for name in self.workload_names
+        ]
+        return sum(values) / len(values)
+
+
+def machine_for_case(ports, issue):
+    """Machine of one §5.1 case, e.g. ``machine_for_case("4/2", 2)``."""
+    return MachineConfig(issue, ports)
+
+
+def area_constraint(budget):
+    """Shorthand for ``ISEConstraints(max_area=budget)``."""
+    return ISEConstraints(max_area=budget)
+
+
+def count_constraint(count):
+    """Shorthand for ``ISEConstraints(max_ises=count)``."""
+    return ISEConstraints(max_ises=count)

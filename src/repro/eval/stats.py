@@ -1,0 +1,107 @@
+"""Exploration statistics for research reporting.
+
+Summarises what exploration actually produced — candidate sizes, ASFU
+latencies, option mix (fast vs small design points), opcode
+composition — so claims like "the explorer prefers cheap options off
+the critical path" can be checked quantitatively rather than by
+eyeballing candidate dumps.
+"""
+
+from collections import Counter
+
+
+class ExplorationStats:
+    """Aggregated statistics over a set of ISE candidates."""
+
+    def __init__(self, candidates):
+        self.candidates = list(candidates)
+
+    @property
+    def count(self):
+        """Number of candidates summarised."""
+        return len(self.candidates)
+
+    def size_histogram(self):
+        """Counter: candidate size (ops) → how many candidates."""
+        return Counter(c.size for c in self.candidates)
+
+    def cycle_histogram(self):
+        """Counter: ASFU latency in cycles → how many candidates."""
+        return Counter(c.cycles for c in self.candidates)
+
+    def opcode_mix(self):
+        """Counter: opcode → total instances across all candidates."""
+        mix = Counter()
+        for candidate in self.candidates:
+            for uid in candidate.members:
+                mix[candidate.dfg.op(uid).name] += 1
+        return mix
+
+    def option_mix(self):
+        """Counter: option label → chosen instances (HW-1 vs HW-2...)."""
+        mix = Counter()
+        for candidate in self.candidates:
+            for option in candidate.option_of.values():
+                mix[option.label] += 1
+        return mix
+
+    def total_area(self):
+        """Summed candidate ASFU area."""
+        return sum(c.area for c in self.candidates)
+
+    def total_operations(self):
+        """Summed member counts."""
+        return sum(c.size for c in self.candidates)
+
+    def mean_size(self):
+        """Average operations per candidate."""
+        if not self.candidates:
+            return 0.0
+        return self.total_operations() / self.count
+
+    def fast_option_fraction(self):
+        """Fraction of members realized with the fastest design point of
+        their opcode (1.0 when every choice is speed-greedy)."""
+        fast = total = 0
+        for candidate in self.candidates:
+            for uid in candidate.members:
+                total += 1
+                option = candidate.option_of[uid]
+                name = candidate.dfg.op(uid).name
+                from ..hwlib.database import DEFAULT_DATABASE
+                options = DEFAULT_DATABASE.hardware_options(name)
+                if not options:
+                    continue
+                fastest = min(options, key=lambda o: o.delay_ns)
+                if option.delay_ns <= fastest.delay_ns:
+                    fast += 1
+        return fast / total if total else 0.0
+
+    def summary(self):
+        """One-paragraph text report."""
+        if not self.candidates:
+            return "no candidates"
+        lines = [
+            "{} candidates, {} operations total "
+            "(mean size {:.1f}), {:.0f} um2".format(
+                self.count, self.total_operations(), self.mean_size(),
+                self.total_area()),
+            "sizes: " + _histo(self.size_histogram()),
+            "latencies: " + _histo(self.cycle_histogram(), "cyc"),
+            "opcodes: " + _histo(self.opcode_mix()),
+            "options: " + _histo(self.option_mix())
+            + "  (fast-point fraction {:.0%})".format(
+                self.fast_option_fraction()),
+        ]
+        return "\n".join(lines)
+
+
+def _histo(counter, suffix=""):
+    return ", ".join("{}{}×{}".format(key, suffix, count)
+                     for key, count in sorted(counter.items(),
+                                              key=lambda kv: str(kv[0])))
+
+
+def stats_of(explored):
+    """Stats over an :class:`~repro.core.flow.ExploredApplication`."""
+    return ExplorationStats(explored.candidates)

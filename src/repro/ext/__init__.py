@@ -1,0 +1,5 @@
+"""Extensions from the thesis's future-work section (§6)."""
+
+from .partitioning import PartitionResult, Task, TaskGraph, partition
+
+__all__ = ["PartitionResult", "Task", "TaskGraph", "partition"]

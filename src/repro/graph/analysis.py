@@ -1,0 +1,172 @@
+"""Analyses over DFGs: I/O counting, convexity, ASAP/ALAP, critical path.
+
+These implement the formal side of §4.2 (the constraints every ISE must
+observe) and the timing quantities the merit function consumes
+(critical-path membership, slack windows).
+"""
+
+import networkx as nx
+
+from ..errors import ConstraintError
+
+
+# -- §4.2: IN(S) / OUT(S) ----------------------------------------------------
+
+def input_values(dfg, members):
+    """The set of distinct values subgraph ``members`` reads from outside.
+
+    Counts external block inputs of member nodes plus values flowing in
+    over data edges from non-member producers.  ``IN(S)`` of §4.2 is the
+    size of this set.
+    """
+    members = set(members)
+    values = set()
+    for uid in members:
+        values.update(dfg.external_inputs(uid))
+        for pred in dfg.data_predecessors(uid):
+            if pred not in members:
+                values.update(dfg.graph.edges[pred, uid]["values"])
+    return values
+
+
+def output_values(dfg, members):
+    """The set of distinct values ``members`` produces for the outside.
+
+    A member's value escapes when a non-member consumes it over a data
+    edge or when the member is an output node of the block.  ``OUT(S)``
+    of §4.2 is the size of this set.
+    """
+    members = set(members)
+    values = set()
+    for uid in members:
+        operation = dfg.op(uid)
+        escapes = dfg.is_output(uid)
+        if not escapes:
+            for succ in dfg.data_successors(uid):
+                if succ not in members:
+                    escapes = True
+                    break
+        if escapes and operation.dests:
+            values.update(operation.dests)
+    return values
+
+
+def is_convex(dfg, members):
+    """§4.2 convexity: no path between two members leaves the subgraph.
+
+    Equivalent check: no non-member node is simultaneously reachable
+    *from* a member and an ancestor *of* a member.
+    """
+    members = set(members)
+    if len(members) <= 1:
+        return True
+    reachable_from_s = set()
+    for uid in members:
+        for succ in dfg.successors(uid):
+            if succ not in members:
+                reachable_from_s.add(succ)
+    # Forward closure of the escape frontier.
+    frontier = list(reachable_from_s)
+    while frontier:
+        node = frontier.pop()
+        for succ in dfg.successors(node):
+            if succ not in reachable_from_s:
+                reachable_from_s.add(succ)
+                frontier.append(succ)
+    # Convex iff the closure never re-enters S.
+    return not any(node in members for node in reachable_from_s)
+
+
+def violates_memory_rule(dfg, members):
+    """True when the subgraph contains a load/store (§4.2 rule 4)."""
+    return any(dfg.op(uid).is_memory for uid in members)
+
+
+def check_candidate(dfg, members, constraints):
+    """Raise :class:`~repro.errors.ConstraintError` when S is illegal."""
+    if not members:
+        raise ConstraintError("empty candidate")
+    if violates_memory_rule(dfg, members):
+        raise ConstraintError("candidate contains memory operations")
+    if any(not dfg.op(uid).groupable for uid in members):
+        raise ConstraintError("candidate contains ungroupable operations")
+    n_in = len(input_values(dfg, members))
+    if n_in > constraints.n_in:
+        raise ConstraintError(
+            "IN(S)={} exceeds Nin={}".format(n_in, constraints.n_in))
+    n_out = len(output_values(dfg, members))
+    if n_out > constraints.n_out:
+        raise ConstraintError(
+            "OUT(S)={} exceeds Nout={}".format(n_out, constraints.n_out))
+    if not is_convex(dfg, members):
+        raise ConstraintError("candidate is not convex")
+
+
+def is_legal(dfg, members, constraints):
+    """Boolean form of :func:`check_candidate`."""
+    try:
+        check_candidate(dfg, members, constraints)
+    except ConstraintError:
+        return False
+    return True
+
+
+# -- timing: ASAP / ALAP / critical path ------------------------------------
+
+def asap_schedule(dfg, latency_of):
+    """Unconstrained as-soon-as-possible start cycles.
+
+    ``latency_of(uid)`` gives whole-cycle latencies.  Returns a dict
+    uid → start cycle (0-based).
+    """
+    start = {}
+    for uid in nx.topological_sort(dfg.graph):
+        earliest = 0
+        for pred in dfg.predecessors(uid):
+            earliest = max(earliest, start[pred] + latency_of(pred))
+        start[uid] = earliest
+    return start
+
+
+def alap_schedule(dfg, latency_of, horizon=None):
+    """Unconstrained as-late-as-possible start cycles.
+
+    ``horizon`` is the schedule length in cycles; defaults to the ASAP
+    makespan so that critical operations get zero slack.
+    """
+    asap = asap_schedule(dfg, latency_of)
+    if horizon is None:
+        horizon = schedule_length(dfg, asap, latency_of)
+    start = {}
+    for uid in reversed(list(nx.topological_sort(dfg.graph))):
+        latest = horizon - latency_of(uid)
+        for succ in dfg.successors(uid):
+            latest = min(latest, start[succ] - latency_of(uid))
+        start[uid] = latest
+    return start
+
+
+def schedule_length(dfg, start, latency_of):
+    """Makespan in cycles of a start-cycle assignment."""
+    if not start:
+        return 0
+    return max(cycle + latency_of(uid) for uid, cycle in start.items())
+
+
+def slack(dfg, latency_of, horizon=None):
+    """Per-node slack = ALAP − ASAP start cycle."""
+    asap = asap_schedule(dfg, latency_of)
+    alap = alap_schedule(dfg, latency_of, horizon=horizon)
+    return {uid: alap[uid] - asap[uid] for uid in asap}
+
+
+def critical_nodes(dfg, latency_of, horizon=None):
+    """Nodes with zero slack — the critical path(s) of the DFG."""
+    return {uid for uid, s in slack(dfg, latency_of, horizon=horizon).items()
+            if s <= 0}
+
+
+def longest_path_cycles(dfg, latency_of):
+    """Length in cycles of the longest dependence chain."""
+    asap = asap_schedule(dfg, latency_of)
+    return schedule_length(dfg, asap, latency_of)

@@ -1,0 +1,191 @@
+"""Data-flow graphs of basic blocks.
+
+A :class:`DFG` wraps a :class:`networkx.DiGraph` whose nodes are the
+integer uids of :class:`~repro.isa.instruction.Operation` objects and
+whose edges carry dependences:
+
+* ``kind="data"`` — true dependences, annotated with the value name,
+* ``kind="order"`` — memory-ordering edges (store→load, store→store,
+  load→store) keeping loads/stores in program order.
+
+Construction lowers one IR basic block: every computational instruction
+becomes an operation node; values read before any in-block definition
+become *external inputs*; values that are live out of the block (or
+used by the terminator) mark their producers as *output* nodes.  The
+terminator itself is not part of the DFG — it executes in the branch
+slot after the block body, as in the thesis's examples.
+"""
+
+import networkx as nx
+
+from ..errors import IRError
+from ..isa.instruction import Operation
+
+
+class DFG:
+    """The data-flow graph of one basic block."""
+
+    def __init__(self, label="", function=""):
+        self.graph = nx.DiGraph()
+        self.label = label
+        self.function = function
+        #: value name -> uid of its (final) producer in this block
+        self.producer_of = {}
+        #: uids whose value must reach the register file (live-out or
+        #: used by the terminator)
+        self.output_nodes = set()
+        #: per-node list of external input value names
+        self._ext_inputs = {}
+
+    # -- structure ----------------------------------------------------------
+
+    def add_operation(self, operation, ext_inputs=()):
+        """Add an operation node; ``ext_inputs`` are the value names it
+        reads from outside the block."""
+        if operation.uid in self.graph:
+            raise IRError("duplicate DFG node uid {}".format(operation.uid))
+        self.graph.add_node(operation.uid, op=operation)
+        self._ext_inputs[operation.uid] = list(ext_inputs)
+        return operation.uid
+
+    def add_data_edge(self, src, dst, value):
+        """Add (or widen) a data edge carrying ``value`` from src to dst."""
+        if self.graph.has_edge(src, dst):
+            edge = self.graph.edges[src, dst]
+            edge["kind"] = "data"
+            values = edge.setdefault("values", set())
+            values.add(value)
+        else:
+            self.graph.add_edge(src, dst, kind="data", values={value})
+
+    def add_order_edge(self, src, dst):
+        """Add a memory-ordering edge (no value carried)."""
+        if not self.graph.has_edge(src, dst):
+            self.graph.add_edge(src, dst, kind="order", values=set())
+
+    def op(self, uid):
+        """The :class:`Operation` at node ``uid``."""
+        return self.graph.nodes[uid]["op"]
+
+    @property
+    def nodes(self):
+        """All node uids, sorted (== program order by construction)."""
+        return sorted(self.graph.nodes)
+
+    def __len__(self):
+        return self.graph.number_of_nodes()
+
+    def __contains__(self, uid):
+        return uid in self.graph
+
+    def predecessors(self, uid):
+        """All predecessors (data and order edges)."""
+        return self.graph.predecessors(uid)
+
+    def successors(self, uid):
+        """All successors (data and order edges)."""
+        return self.graph.successors(uid)
+
+    def data_predecessors(self, uid):
+        """Predecessors connected by data edges."""
+        for pred in self.graph.predecessors(uid):
+            if self.graph.edges[pred, uid]["kind"] == "data":
+                yield pred
+
+    def data_successors(self, uid):
+        """Successors connected by data edges."""
+        for succ in self.graph.successors(uid):
+            if self.graph.edges[uid, succ]["kind"] == "data":
+                yield succ
+
+    def external_inputs(self, uid):
+        """Value names node ``uid`` reads from outside the block."""
+        return list(self._ext_inputs.get(uid, ()))
+
+    def is_output(self, uid):
+        """True when the node's value must reach the register file."""
+        return uid in self.output_nodes
+
+    def groupable_nodes(self):
+        """Uids of operations that §4.2 allows inside an ISE."""
+        return [uid for uid in self.nodes if self.op(uid).groupable]
+
+    def pretty(self):
+        """Multi-line human-readable dump of the DFG."""
+        lines = ["DFG {}:{} ({} nodes)".format(
+            self.function, self.label, len(self))]
+        for uid in self.nodes:
+            preds = sorted(self.graph.predecessors(uid))
+            lines.append("  #{:<3} {:<24} <- {}".format(
+                uid, self.op(uid).pretty(), preds))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "DFG({}:{}, {} nodes)".format(
+            self.function, self.label, len(self))
+
+
+def build_dfg(block, live_out=frozenset(), function=""):
+    """Lower one IR basic block to a :class:`DFG`.
+
+    Parameters
+    ----------
+    block:
+        The :class:`~repro.ir.function.BasicBlock` to lower.
+    live_out:
+        Value names live on exit of the block (from
+        :func:`repro.ir.analysis.liveness`); their final producers
+        become output nodes.
+    """
+    dfg = DFG(label=block.label, function=function)
+    last_def = {}            # value name -> uid of current producer
+    last_store = None
+    loads_since_store = []
+    uid = 0
+    for instr in block.body:
+        if not instr.is_computational:
+            # Calls split scheduling regions; the flow never hands blocks
+            # with calls to exploration (they are inlined or the block is
+            # skipped), so treat one here as a construction error.
+            raise IRError(
+                "cannot lower block {!r}: contains a call".format(block.label))
+        operation = Operation(
+            uid, instr.op,
+            sources=instr.sources,
+            dests=instr.defs(),
+            immediate=instr.imm,
+        )
+        ext = []
+        for value in instr.sources:
+            if value in last_def:
+                pass
+            else:
+                ext.append(value)
+        dfg.add_operation(operation, ext_inputs=ext)
+        for value in instr.sources:
+            if value in last_def:
+                dfg.add_data_edge(last_def[value], uid, value)
+        # Memory ordering.
+        if instr.is_load:
+            if last_store is not None:
+                dfg.add_order_edge(last_store, uid)
+            loads_since_store.append(uid)
+        elif instr.is_store:
+            if last_store is not None:
+                dfg.add_order_edge(last_store, uid)
+            for load in loads_since_store:
+                dfg.add_order_edge(load, uid)
+            last_store = uid
+            loads_since_store = []
+        for value in instr.defs():
+            last_def[value] = uid
+        uid += 1
+    # Output nodes: final producers of live-out / terminator-used values.
+    needed = set(live_out)
+    if block.terminator is not None:
+        needed.update(block.terminator.uses())
+    for value, producer in last_def.items():
+        if value in needed:
+            dfg.output_nodes.add(producer)
+    dfg.producer_of = dict(last_def)
+    return dfg

@@ -1,0 +1,130 @@
+"""Subgraph utilities: grouping, components, containment, matching.
+
+Used by Hardware-Grouping (grow a virtual ISE around one operation),
+by candidate extraction (connected components of taken-hardware nodes),
+by ISE merging (pattern containment) and by ISE replacement (finding
+further occurrences of a selected pattern in a DFG).
+"""
+
+import networkx as nx
+from networkx.algorithms import isomorphism
+
+
+def grown_group(dfg, seed, chosen_hw):
+    """Hardware-Grouping's virtual subgraph around ``seed``.
+
+    Returns ``{seed}`` plus every node reachable from ``seed`` through
+    undirected DFG edges traversing only nodes in ``chosen_hw`` (the
+    operations that picked a hardware option in the previous iteration).
+    Matches the Fig. 4.3.6 examples: parents and children chains of
+    hardware-chosen neighbours are swallowed, software nodes block the
+    growth.
+    """
+    chosen_hw = set(chosen_hw)
+    group = {seed}
+    frontier = [seed]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in _neighbours(dfg, node):
+            if neighbour in group or neighbour not in chosen_hw:
+                continue
+            group.add(neighbour)
+            frontier.append(neighbour)
+    return group
+
+
+def _neighbours(dfg, node):
+    yield from dfg.predecessors(node)
+    yield from dfg.successors(node)
+
+
+def hardware_components(dfg, chosen_hw):
+    """Connected components of hardware-chosen nodes.
+
+    The thesis defines an ISE as "a set of connected/reachable
+    operations that all use hardware implementation option"; each
+    weakly-connected component of the induced subgraph is one candidate.
+    """
+    chosen_hw = set(chosen_hw)
+    sub = dfg.graph.subgraph(chosen_hw)
+    return [set(component)
+            for component in nx.weakly_connected_components(sub)]
+
+
+def pattern_graph(dfg, members):
+    """Opcode-labelled pattern of a node set (for matching/merging).
+
+    Only data edges inside the member set appear; nodes are relabelled
+    0..n-1 in sorted-uid order so patterns from different DFGs compare.
+    """
+    members = sorted(set(members))
+    index = {uid: i for i, uid in enumerate(members)}
+    pattern = nx.DiGraph()
+    for uid in members:
+        pattern.add_node(index[uid], opcode=dfg.op(uid).name)
+    for uid in members:
+        for succ in dfg.data_successors(uid):
+            if succ in index:
+                pattern.add_edge(index[uid], index[succ])
+    return pattern
+
+
+def contains_pattern(host, pattern):
+    """True when ``pattern`` occurs inside ``host`` (both opcode-labelled
+    DiGraphs from :func:`pattern_graph`).  Containment is subgraph
+    monomorphism with opcode-equality node matching — the rule ISE
+    merging uses to fold candidate B into candidate A."""
+    if pattern.number_of_nodes() > host.number_of_nodes():
+        return False
+    matcher = isomorphism.DiGraphMatcher(
+        host, pattern,
+        node_match=lambda a, b: a["opcode"] == b["opcode"])
+    return matcher.subgraph_is_monomorphic()
+
+
+def same_pattern(a, b):
+    """Exact (iso) equality of two opcode-labelled patterns."""
+    if a.number_of_nodes() != b.number_of_nodes():
+        return False
+    if a.number_of_edges() != b.number_of_edges():
+        return False
+    matcher = isomorphism.DiGraphMatcher(
+        a, b, node_match=lambda x, y: x["opcode"] == y["opcode"])
+    return matcher.is_isomorphic()
+
+
+def find_matches(dfg, pattern, constraints=None, exclude=frozenset(),
+                 max_mappings=5000, max_matches=256):
+    """Occurrences of ``pattern`` in ``dfg`` as sets of node uids.
+
+    Matches never use nodes in ``exclude`` (already replaced), always
+    map onto groupable operations, and — when ``constraints`` is given —
+    must be legal candidates (convex, I/O ports, no memory ops).
+    Overlapping matches are all returned; the caller prioritises.
+
+    Unrolled blocks contain combinatorially many monomorphisms of the
+    same node sets, so enumeration is capped by ``max_mappings`` raw
+    mappings / ``max_matches`` distinct member sets.
+    """
+    from .analysis import is_legal
+
+    eligible = sorted(uid for uid in dfg.nodes
+                      if dfg.op(uid).groupable and uid not in exclude)
+    host = pattern_graph(dfg, eligible)
+    back = {i: uid for i, uid in enumerate(eligible)}
+    matcher = isomorphism.DiGraphMatcher(
+        host, pattern,
+        node_match=lambda a, b: a["opcode"] == b["opcode"])
+    seen = set()
+    matches = []
+    for count, mapping in enumerate(matcher.subgraph_monomorphisms_iter()):
+        if count >= max_mappings or len(matches) >= max_matches:
+            break
+        members = frozenset(back[i] for i in mapping)
+        if members in seen:
+            continue
+        seen.add(members)
+        if constraints is not None and not is_legal(dfg, members, constraints):
+            continue
+        matches.append(set(members))
+    return matches

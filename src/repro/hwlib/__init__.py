@@ -1,0 +1,28 @@
+"""Hardware library: Table 5.1.1 database, IO tables, ASFU model."""
+
+from .technology import DEFAULT_TECHNOLOGY, Technology
+from .database import DEFAULT_DATABASE, HardwareDatabase
+from .options import (
+    HardwareOption,
+    IOTable,
+    ImplementationOption,
+    SoftwareOption,
+    default_io_table,
+)
+from .asfu import ASFU, subgraph_area, subgraph_cycles, subgraph_delay_ns
+
+__all__ = [
+    "ASFU",
+    "DEFAULT_DATABASE",
+    "DEFAULT_TECHNOLOGY",
+    "HardwareDatabase",
+    "HardwareOption",
+    "IOTable",
+    "ImplementationOption",
+    "SoftwareOption",
+    "Technology",
+    "default_io_table",
+    "subgraph_area",
+    "subgraph_cycles",
+    "subgraph_delay_ns",
+]

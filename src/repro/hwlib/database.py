@@ -1,0 +1,123 @@
+"""Hardware implementation-option database (Table 5.1.1).
+
+The thesis lists, for every PISA opcode that can be grouped into an ISE,
+the delay (ns) and silicon area (µm²) of its hardware implementation in
+0.13 µm CMOS.  Several rows offer two design points (a slow/small and a
+fast/large implementation); the database preserves both so the explorer
+can trade area against delay exactly as in §4.1's example.
+
+The numbers below are transcribed verbatim from Table 5.1.1:
+
+======================  =====================================
+opcode group            options (delay ns, area µm²)
+======================  =====================================
+add addi addu addiu     (4.04, 926.33), (2.12, 2075.35)
+sub subu                (4.04, 926.33), (2.14, 2049.41)
+mult                    (5.77, 84428.0)
+multu                   (5.65, 79778.1)
+and andi                (1.58, 214.31)
+or ori                  (1.85, 214.21)
+xor                     (4.17, 375.1)
+xori                    (2.01, 565.14)
+nor                     (2.00, 250.0)
+slt slti sltu sltiu     (2.64, 1144.0), (1.01, 2636.0)
+sll sllv srl srlv
+sra srav                (3.00, 400.0)
+======================  =====================================
+"""
+
+from ..errors import UnknownOpcodeError
+from ..isa.opcodes import is_known, opcode as _lookup
+from .options import HardwareOption
+
+#: Table 5.1.1, keyed by opcode group.  Each value is a list of
+#: (delay_ns, area_um2) design points, fastest last.
+_TABLE_5_1_1 = {
+    ("add", "addi", "addu", "addiu"): [(4.04, 926.33), (2.12, 2075.35)],
+    ("sub", "subu"): [(4.04, 926.33), (2.14, 2049.41)],
+    ("mult",): [(5.77, 84428.0)],
+    ("multu",): [(5.65, 79778.1)],
+    ("and", "andi"): [(1.58, 214.31)],
+    ("or", "ori"): [(1.85, 214.21)],
+    ("xor",): [(4.17, 375.1)],
+    ("xori",): [(2.01, 565.14)],
+    ("nor",): [(2.00, 250.0)],
+    ("slt", "slti", "sltu", "sltiu"): [(2.64, 1144.0), (1.01, 2636.0)],
+    ("sll", "sllv", "srl", "srlv", "sra", "srav"): [(3.00, 400.0)],
+}
+
+
+def _flatten(table):
+    flat = {}
+    for group, points in table.items():
+        for name in group:
+            flat[name] = list(points)
+    return flat
+
+_BY_OPCODE = _flatten(_TABLE_5_1_1)
+
+
+class HardwareDatabase:
+    """Lookup of hardware design points per opcode.
+
+    The default instance serves Table 5.1.1; custom databases (e.g. for
+    a different process node) can be built by passing a mapping of
+    mnemonic → list of ``(delay_ns, area_um2)`` pairs.
+    """
+
+    def __init__(self, entries=None):
+        if entries is None:
+            entries = _BY_OPCODE
+        self._entries = {name: list(points) for name, points in entries.items()}
+
+    def has(self, name):
+        """True when hardware design points exist for mnemonic ``name``."""
+        return name in self._entries
+
+    def design_points(self, name):
+        """Return ``[(delay_ns, area_um2), ...]`` for mnemonic ``name``.
+
+        Raises :class:`~repro.errors.UnknownOpcodeError` when the
+        mnemonic has no hardware implementation (e.g. loads/stores) or
+        is not a known opcode at all.
+        """
+        if name not in self._entries:
+            raise UnknownOpcodeError(name)
+        return list(self._entries[name])
+
+    def hardware_options(self, name):
+        """Return :class:`HardwareOption` objects for mnemonic ``name``.
+
+        Unknown or ungroupable mnemonics yield an empty list — operations
+        without hardware options simply cannot join an ISE.
+        """
+        if name not in self._entries:
+            return []
+        if is_known(name) and not _lookup(name).groupable:
+            return []
+        points = self._entries[name]
+        options = []
+        for index, (delay, area) in enumerate(points, start=1):
+            label = "HW-{}".format(index) if len(points) > 1 else "HW"
+            options.append(HardwareOption(label, delay_ns=delay, area=area))
+        return options
+
+    def opcode_names(self):
+        """All mnemonics with at least one design point, sorted."""
+        return sorted(self._entries)
+
+    def rows(self):
+        """Yield Table 5.1.1 rows as ``(group, [(delay, area), ...])``.
+
+        Only meaningful for the default database; custom databases yield
+        one singleton group per mnemonic.
+        """
+        if self._entries == _BY_OPCODE:
+            for group in sorted(_TABLE_5_1_1, key=lambda g: g[0]):
+                yield group, list(_TABLE_5_1_1[group])
+            return
+        for name in self.opcode_names():
+            yield (name,), list(self._entries[name])
+
+
+DEFAULT_DATABASE = HardwareDatabase()

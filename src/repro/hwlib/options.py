@@ -1,0 +1,206 @@
+"""Implementation options and the IO table of §4.1.
+
+Every operation in a DFG owns an *implementation-option (IO) table*
+listing the ways it can be executed.  Software options run on a core
+function unit and cost whole cycles but zero extra area; hardware
+options run inside an ASFU and are characterised by a combinational
+delay in nanoseconds plus a silicon area in µm².  Attaching IO tables
+to a DFG ``G`` yields the extended graph ``G+`` (Fig. 4.1.1).
+"""
+
+from ..errors import ConfigError
+
+
+class ImplementationOption:
+    """Base class of software/hardware implementation options."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label):
+        self.label = str(label)
+
+    @property
+    def is_hardware(self):
+        """True for ASFU (hardware) options."""
+        raise NotImplementedError
+
+    @property
+    def is_software(self):
+        """True for core function-unit (software) options."""
+        return not self.is_hardware
+
+    def __repr__(self):
+        return "{}({!r})".format(type(self).__name__, self.label)
+
+    def __eq__(self, other):
+        return type(other) is type(self) and other.key == self.key
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.key))
+
+
+class SoftwareOption(ImplementationOption):
+    """Execution on a core function unit.
+
+    Parameters
+    ----------
+    label:
+        Display name, e.g. ``"SW"`` or ``"SW-2"``.
+    cycles:
+        Latency in whole cycles (the paper assumes one cycle for every
+        base PISA instruction).
+    fu_kind:
+        Function-unit type string the scheduler matches against the
+        machine's FU mix (``"alu"``, ``"mul"``, ``"mem"``...).
+    """
+
+    __slots__ = ("cycles", "fu_kind")
+
+    def __init__(self, label="SW", cycles=1, fu_kind="alu"):
+        super().__init__(label)
+        if cycles < 1:
+            raise ConfigError("software option latency must be >= 1 cycle")
+        self.cycles = int(cycles)
+        self.fu_kind = str(fu_kind)
+
+    @property
+    def is_hardware(self):
+        """True for ASFU (hardware) options."""
+        return False
+
+    @property
+    def key(self):
+        """Hashable identity of the option (label + parameters)."""
+        return (self.label, self.cycles, self.fu_kind)
+
+    @property
+    def area(self):
+        """Software costs no extra silicon."""
+        return 0.0
+
+
+class HardwareOption(ImplementationOption):
+    """Execution inside an application-specific function unit (ASFU).
+
+    Parameters
+    ----------
+    label:
+        Display name, e.g. ``"HW-1"``.
+    delay_ns:
+        Combinational delay contributed to the ASFU critical path.
+    area:
+        Extra silicon area in µm².
+    """
+
+    __slots__ = ("delay_ns", "area")
+
+    def __init__(self, label, delay_ns, area):
+        super().__init__(label)
+        if delay_ns <= 0:
+            raise ConfigError("hardware delay must be positive")
+        if area < 0:
+            raise ConfigError("hardware area must be non-negative")
+        self.delay_ns = float(delay_ns)
+        self.area = float(area)
+
+    @property
+    def is_hardware(self):
+        """True for ASFU (hardware) options."""
+        return True
+
+    @property
+    def key(self):
+        """Hashable identity of the option (label + parameters)."""
+        return (self.label, self.delay_ns, self.area)
+
+
+class IOTable:
+    """The implementation-option table attached to one operation.
+
+    Options are indexed by their label; iteration order is software
+    options first, then hardware options, both in insertion order —
+    matching the table layout of Fig. 4.1.1.
+    """
+
+    __slots__ = ("_software", "_hardware")
+
+    def __init__(self, software=(), hardware=()):
+        self._software = list(software)
+        self._hardware = list(hardware)
+        if not self._software:
+            raise ConfigError("every operation needs >= 1 software option")
+        labels = [opt.label for opt in self]
+        if len(set(labels)) != len(labels):
+            raise ConfigError("duplicate option labels in IO table")
+
+    @property
+    def software(self):
+        """Software options, in table order."""
+        return tuple(self._software)
+
+    @property
+    def hardware(self):
+        """Hardware options, in table order (may be empty)."""
+        return tuple(self._hardware)
+
+    @property
+    def has_hardware(self):
+        """True when at least one hardware option exists."""
+        return bool(self._hardware)
+
+    def __iter__(self):
+        yield from self._software
+        yield from self._hardware
+
+    def __len__(self):
+        return len(self._software) + len(self._hardware)
+
+    def get(self, label):
+        """Return the option with the given label, or ``None``."""
+        for option in self:
+            if option.label == label:
+                return option
+        return None
+
+    def fastest_hardware(self):
+        """The hardware option with the smallest delay, or ``None``."""
+        if not self._hardware:
+            return None
+        return min(self._hardware, key=lambda opt: opt.delay_ns)
+
+    def cheapest_hardware(self):
+        """The hardware option with the smallest area, or ``None``."""
+        if not self._hardware:
+            return None
+        return min(self._hardware, key=lambda opt: opt.area)
+
+    def __repr__(self):
+        return "IOTable(sw={}, hw={})".format(
+            [o.label for o in self._software],
+            [o.label for o in self._hardware])
+
+
+def default_io_table(operation, database, technology=None):
+    """Build the IO table of one operation from a hardware database.
+
+    Every operation gets the canonical one-cycle software option on the
+    function-unit type implied by its opcode category; groupable
+    operations additionally receive the hardware design points of
+    Table 5.1.1.
+    """
+    from ..isa.opcodes import OpCategory
+
+    category = operation.opcode.category
+    if category == OpCategory.MULTIPLY:
+        fu_kind = "mul"
+    elif category in (OpCategory.LOAD, OpCategory.STORE):
+        fu_kind = "mem"
+    elif operation.opcode.is_control:
+        fu_kind = "branch"
+    else:
+        fu_kind = "alu"
+    software = [SoftwareOption("SW", cycles=1, fu_kind=fu_kind)]
+    hardware = []
+    if operation.groupable:
+        hardware = database.hardware_options(operation.name)
+    return IOTable(software=software, hardware=hardware)

@@ -1,0 +1,30 @@
+"""Intermediate representation: instructions, functions, builder,
+programs, interpreter/profiler and optimisation passes."""
+
+from .instr import CONDITIONAL_BRANCHES, IRInstr
+from .function import BasicBlock, IRFunction
+from .builder import FunctionBuilder
+from .program import DataSegment, Program
+from .interp import Interpreter, Memory, Profile, run_program
+from .analysis import block_def_use, liveness, unique_constant_defs
+from .parser import ParseError, parse_functions, parse_program
+
+__all__ = [
+    "BasicBlock",
+    "CONDITIONAL_BRANCHES",
+    "DataSegment",
+    "FunctionBuilder",
+    "IRFunction",
+    "IRInstr",
+    "Interpreter",
+    "Memory",
+    "ParseError",
+    "Profile",
+    "Program",
+    "block_def_use",
+    "liveness",
+    "parse_functions",
+    "parse_program",
+    "run_program",
+    "unique_constant_defs",
+]

@@ -1,0 +1,69 @@
+"""Dataflow analyses over IR functions.
+
+Currently: classic backward iterative liveness (per-block live-in /
+live-out sets) and a reaching-constants helper used by the loop
+unroller to discover compile-time loop bounds.
+"""
+
+
+def block_def_use(block):
+    """Return ``(defs, upward_uses)`` of one block.
+
+    ``upward_uses`` are registers read before any write inside the
+    block — the standard *use* set of liveness analysis.
+    """
+    defs, uses = set(), set()
+    for instr in block.instructions:
+        for reg in instr.uses():
+            if reg not in defs:
+                uses.add(reg)
+        defs.update(instr.defs())
+    return defs, uses
+
+
+def liveness(func):
+    """Compute live-in/live-out sets for every block.
+
+    Returns ``(live_in, live_out)``: two dicts label → frozenset.  The
+    return value of the function is treated as used at ``ret``.
+    """
+    defs, uses = {}, {}
+    for block in func.blocks:
+        defs[block.label], uses[block.label] = block_def_use(block)
+    succs = {block.label: list(block.successors()) for block in func.blocks}
+    live_in = {label: set() for label in func.labels}
+    live_out = {label: set() for label in func.labels}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            label = block.label
+            out = set()
+            for succ in succs[label]:
+                out |= live_in[succ]
+            new_in = uses[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return ({k: frozenset(v) for k, v in live_in.items()},
+            {k: frozenset(v) for k, v in live_out.items()})
+
+
+def unique_constant_defs(func):
+    """Registers defined exactly once in the whole function by ``li``.
+
+    Returns a dict register → constant value.  The unroller uses this as
+    a cheap reaching-constants analysis: such registers hold the same
+    value at every program point after their definition.
+    """
+    counts = {}
+    values = {}
+    for instr in func.instructions():
+        for reg in instr.defs():
+            counts[reg] = counts.get(reg, 0) + 1
+            if instr.is_constant and instr.op == "li":
+                values[reg] = instr.imm
+    for param in func.params:
+        counts[param] = counts.get(param, 0) + 1
+    return {reg: val for reg, val in values.items() if counts.get(reg) == 1}

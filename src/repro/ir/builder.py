@@ -1,0 +1,256 @@
+"""Convenience builder for IR functions.
+
+Workload kernels construct their IR through :class:`FunctionBuilder`,
+which manages fresh temporary names, current-block bookkeeping and
+emits one method per PISA mnemonic::
+
+    b = FunctionBuilder("axpy", params=("a", "x", "y"))
+    b.label("entry")
+    t = b.mult("a", "x")
+    s = b.addu(t, "y")
+    b.ret(s)
+    func = b.finish()
+
+Every arithmetic helper returns the destination register name, so
+expressions compose naturally.
+"""
+
+from ..errors import IRError
+from .function import IRFunction
+from .instr import CONDITIONAL_BRANCHES, IRInstr
+
+
+class FunctionBuilder:
+    """Imperative builder producing a verified :class:`IRFunction`."""
+
+    def __init__(self, name, params=()):
+        self._func = IRFunction(name, params)
+        self._current = None
+        self._temp_counter = 0
+
+    # -- structure ---------------------------------------------------------
+
+    def label(self, name):
+        """Open (create) a new basic block and make it current."""
+        self._current = self._func.add_block(name)
+        return name
+
+    def annotate(self, key, value):
+        """Attach pass metadata to the current block."""
+        self._block().annotations[key] = value
+
+    def fresh(self, stem="t"):
+        """Return a fresh temporary register name."""
+        name = "{}{}".format(stem, self._temp_counter)
+        self._temp_counter += 1
+        return name
+
+    def _block(self):
+        if self._current is None:
+            raise IRError("no current block — call label() first")
+        return self._current
+
+    def emit(self, op, dest=None, sources=(), imm=None):
+        """Emit a raw body instruction; returns ``dest``."""
+        self._block().append(IRInstr(op, dest=dest, sources=sources, imm=imm))
+        return dest
+
+    # -- constants and moves -------------------------------------------------
+
+    def li(self, value, dest=None):
+        """Load a 32-bit constant."""
+        dest = dest or self.fresh()
+        return self.emit("li", dest=dest, imm=int(value))
+
+    def move(self, src, dest=None):
+        """Register copy: ``dest = src``."""
+        dest = dest or self.fresh()
+        return self.emit("move", dest=dest, sources=(src,))
+
+    # -- three-address arithmetic ---------------------------------------------
+
+    def _binary(self, op, a, b, dest):
+        dest = dest or self.fresh()
+        return self.emit(op, dest=dest, sources=(a, b))
+
+    def _binary_imm(self, op, a, imm, dest):
+        dest = dest or self.fresh()
+        return self.emit(op, dest=dest, sources=(a,), imm=int(imm))
+
+    def addu(self, a, b, dest=None):
+        """``dest = a + b`` (wrapping 32-bit add)."""
+        return self._binary("addu", a, b, dest)
+
+    def addiu(self, a, imm, dest=None):
+        """``dest = a + imm`` (wrapping add-immediate)."""
+        return self._binary_imm("addiu", a, imm, dest)
+
+    def subu(self, a, b, dest=None):
+        """``dest = a - b`` (wrapping subtract)."""
+        return self._binary("subu", a, b, dest)
+
+    def mult(self, a, b, dest=None):
+        """``dest =`` low 32 bits of the signed product ``a * b``."""
+        return self._binary("mult", a, b, dest)
+
+    def multu(self, a, b, dest=None):
+        """``dest =`` low 32 bits of the unsigned product ``a * b``."""
+        return self._binary("multu", a, b, dest)
+
+    def and_(self, a, b, dest=None):
+        """``dest = a & b``."""
+        return self._binary("and", a, b, dest)
+
+    def andi(self, a, imm, dest=None):
+        """``dest = a & imm``."""
+        return self._binary_imm("andi", a, imm, dest)
+
+    def or_(self, a, b, dest=None):
+        """``dest = a | b``."""
+        return self._binary("or", a, b, dest)
+
+    def ori(self, a, imm, dest=None):
+        """``dest = a | imm``."""
+        return self._binary_imm("ori", a, imm, dest)
+
+    def xor(self, a, b, dest=None):
+        """``dest = a ^ b``."""
+        return self._binary("xor", a, b, dest)
+
+    def xori(self, a, imm, dest=None):
+        """``dest = a ^ imm``."""
+        return self._binary_imm("xori", a, imm, dest)
+
+    def nor(self, a, b, dest=None):
+        """``dest = ~(a | b)``."""
+        return self._binary("nor", a, b, dest)
+
+    def not_(self, a, dest=None):
+        """Bitwise NOT via ``nor a, a`` (the MIPS idiom)."""
+        return self.nor(a, a, dest)
+
+    def slt(self, a, b, dest=None):
+        """``dest = 1 if a < b else 0`` (signed compare)."""
+        return self._binary("slt", a, b, dest)
+
+    def slti(self, a, imm, dest=None):
+        """``dest = 1 if a < imm else 0`` (signed compare)."""
+        return self._binary_imm("slti", a, imm, dest)
+
+    def sltu(self, a, b, dest=None):
+        """``dest = 1 if a < b else 0`` (unsigned compare)."""
+        return self._binary("sltu", a, b, dest)
+
+    def sltiu(self, a, imm, dest=None):
+        """``dest = 1 if a < imm else 0`` (unsigned compare)."""
+        return self._binary_imm("sltiu", a, imm, dest)
+
+    def sll(self, a, shamt, dest=None):
+        """``dest = a << shamt`` (immediate shift amount)."""
+        return self._binary_imm("sll", a, shamt, dest)
+
+    def sllv(self, a, b, dest=None):
+        """``dest = a << (b & 31)`` (register shift amount)."""
+        return self._binary("sllv", a, b, dest)
+
+    def srl(self, a, shamt, dest=None):
+        """``dest = a >> shamt`` (logical, immediate amount)."""
+        return self._binary_imm("srl", a, shamt, dest)
+
+    def srlv(self, a, b, dest=None):
+        """``dest = a >> (b & 31)`` (logical, register amount)."""
+        return self._binary("srlv", a, b, dest)
+
+    def sra(self, a, shamt, dest=None):
+        """``dest = a >> shamt`` (arithmetic, immediate amount)."""
+        return self._binary_imm("sra", a, shamt, dest)
+
+    def srav(self, a, b, dest=None):
+        """``dest = a >> (b & 31)`` (arithmetic, register amount)."""
+        return self._binary("srav", a, b, dest)
+
+    # -- memory ---------------------------------------------------------------
+
+    def lw(self, addr, offset=0, dest=None):
+        """Load word: ``dest = mem[addr + offset]``."""
+        dest = dest or self.fresh()
+        return self.emit("lw", dest=dest, sources=(addr,), imm=int(offset))
+
+    def lbu(self, addr, offset=0, dest=None):
+        """Load byte unsigned: ``dest = mem8[addr + offset]``."""
+        dest = dest or self.fresh()
+        return self.emit("lbu", dest=dest, sources=(addr,), imm=int(offset))
+
+    def lhu(self, addr, offset=0, dest=None):
+        """Load half unsigned: ``dest = mem16[addr + offset]``."""
+        dest = dest or self.fresh()
+        return self.emit("lhu", dest=dest, sources=(addr,), imm=int(offset))
+
+    def sw(self, value, addr, offset=0):
+        """Store word: ``mem[addr + offset] = value``."""
+        return self.emit("sw", sources=(value, addr), imm=int(offset))
+
+    def sb(self, value, addr, offset=0):
+        """Store byte: ``mem8[addr + offset] = value``."""
+        return self.emit("sb", sources=(value, addr), imm=int(offset))
+
+    def sh(self, value, addr, offset=0):
+        """Store half: ``mem16[addr + offset] = value``."""
+        return self.emit("sh", sources=(value, addr), imm=int(offset))
+
+    # -- control flow -----------------------------------------------------------
+
+    def _branch(self, op, sources, taken, fallthrough):
+        if op not in CONDITIONAL_BRANCHES:
+            raise IRError("{} is not a conditional branch".format(op))
+        self._block().terminate(
+            IRInstr(op, sources=sources, targets=(taken, fallthrough)))
+        self._current = None
+
+    def beq(self, a, b, taken, fallthrough):
+        """Branch to ``taken`` when ``a == b``, else ``fallthrough``."""
+        self._branch("beq", (a, b), taken, fallthrough)
+
+    def bne(self, a, b, taken, fallthrough):
+        """Branch to ``taken`` when ``a != b``, else ``fallthrough``."""
+        self._branch("bne", (a, b), taken, fallthrough)
+
+    def blez(self, a, taken, fallthrough):
+        """Branch to ``taken`` when ``a <= 0`` (signed)."""
+        self._branch("blez", (a,), taken, fallthrough)
+
+    def bgtz(self, a, taken, fallthrough):
+        """Branch to ``taken`` when ``a > 0`` (signed)."""
+        self._branch("bgtz", (a,), taken, fallthrough)
+
+    def bltz(self, a, taken, fallthrough):
+        """Branch to ``taken`` when ``a < 0`` (signed)."""
+        self._branch("bltz", (a,), taken, fallthrough)
+
+    def bgez(self, a, taken, fallthrough):
+        """Branch to ``taken`` when ``a >= 0`` (signed)."""
+        self._branch("bgez", (a,), taken, fallthrough)
+
+    def jump(self, target):
+        """Unconditional jump terminator to ``target``."""
+        self._block().terminate(IRInstr("j", targets=(target,)))
+        self._current = None
+
+    def ret(self, value=None):
+        """Return terminator (optionally with a value register)."""
+        sources = (value,) if value is not None else ()
+        self._block().terminate(IRInstr("ret", sources=sources))
+        self._current = None
+
+    def call(self, callee, args, dest=None):
+        """Direct call; inlinable by the -O3 pipeline."""
+        dest = dest or self.fresh()
+        self._block().append(
+            IRInstr("call", dest=dest, callee=callee, args=tuple(args)))
+        return dest
+
+    # -- completion ----------------------------------------------------------
+
+    def finish(self):
+        """Verify and return the built function."""
+        return self._func.verify()

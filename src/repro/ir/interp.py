@@ -1,0 +1,286 @@
+"""IR interpreter with basic-block execution profiling.
+
+The interpreter plays the role SimpleScalar/PISA plays in the thesis:
+it executes workload programs with exact 32-bit wrap-around semantics
+and records how often every basic block runs.  The resulting
+:class:`Profile` feeds hot-block selection at the head of the ISE
+design flow and weights per-block cycle counts into whole-program
+execution time.
+"""
+
+from ..errors import InterpreterError, StepLimitExceeded, TrapError
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def _to_signed(value):
+    value &= _WORD_MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _to_unsigned(value):
+    return value & _WORD_MASK
+
+
+class Profile:
+    """Dynamic execution counts per ``(function, block)``."""
+
+    def __init__(self):
+        self._counts = {}
+        self.instructions_executed = 0
+
+    def record(self, func_name, block_label, instr_count):
+        """Count one execution of ``(func_name, block_label)``."""
+        key = (func_name, block_label)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self.instructions_executed += instr_count
+
+    def count(self, func_name, block_label):
+        """Executions of one block."""
+        return self._counts.get((func_name, block_label), 0)
+
+    def items(self):
+        """``((func, label), count)`` pairs, hottest first."""
+        return sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def merge(self, other):
+        """Accumulate another profile into this one (multi-input runs)."""
+        for key, count in other._counts.items():
+            self._counts[key] = self._counts.get(key, 0) + count
+        self.instructions_executed += other.instructions_executed
+        return self
+
+    def total(self):
+        """Total basic-block executions recorded."""
+        return sum(self._counts.values())
+
+    def __repr__(self):
+        return "Profile({} blocks, {} executions)".format(
+            len(self._counts), self.total())
+
+
+class Memory:
+    """Sparse byte-addressable memory with little-endian words."""
+
+    def __init__(self, image=None):
+        self._bytes = dict(image) if image else {}
+
+    def load_byte(self, addr):
+        """Read one byte (unsigned) at ``addr``."""
+        return self._bytes.get(addr & _WORD_MASK, 0)
+
+    def store_byte(self, addr, value):
+        """Write the low byte of ``value`` at ``addr``."""
+        self._bytes[addr & _WORD_MASK] = value & 0xFF
+
+    def load_word(self, addr):
+        """Read a little-endian 32-bit word (4-aligned)."""
+        if addr % 4:
+            raise TrapError("unaligned word load at {:#x}".format(addr))
+        return sum(self.load_byte(addr + i) << (8 * i) for i in range(4))
+
+    def store_word(self, addr, value):
+        """Write a little-endian 32-bit word (4-aligned)."""
+        if addr % 4:
+            raise TrapError("unaligned word store at {:#x}".format(addr))
+        for i in range(4):
+            self.store_byte(addr + i, (value >> (8 * i)) & 0xFF)
+
+    def load_half(self, addr):
+        """Read a little-endian 16-bit half (2-aligned)."""
+        if addr % 2:
+            raise TrapError("unaligned half load at {:#x}".format(addr))
+        return self.load_byte(addr) | (self.load_byte(addr + 1) << 8)
+
+    def store_half(self, addr, value):
+        """Write a little-endian 16-bit half (2-aligned)."""
+        if addr % 2:
+            raise TrapError("unaligned half store at {:#x}".format(addr))
+        self.store_byte(addr, value & 0xFF)
+        self.store_byte(addr + 1, (value >> 8) & 0xFF)
+
+    def words(self, addr, count):
+        """Read ``count`` consecutive words (test/debug helper)."""
+        return [self.load_word(addr + 4 * i) for i in range(count)]
+
+
+class Interpreter:
+    """Executes a :class:`~repro.ir.program.Program`.
+
+    Parameters
+    ----------
+    program:
+        The program to run.  Its data segment is loaded into a fresh
+        memory at construction.
+    step_limit:
+        Maximum dynamic instruction count before
+        :class:`~repro.errors.StepLimitExceeded` fires.
+    """
+
+    def __init__(self, program, step_limit=5_000_000):
+        program.verify()
+        self.program = program
+        self.memory = Memory(program.data.image)
+        self.profile = Profile()
+        self.step_limit = int(step_limit)
+        self._steps = 0
+
+    def run(self, func_name=None, args=()):
+        """Execute a function and return its (unsigned 32-bit) result."""
+        func = (self.program.main if func_name is None
+                else self.program.function(func_name))
+        return self._call(func, [(_to_unsigned(a)) for a in args], depth=0)
+
+    # -- execution engine ----------------------------------------------------
+
+    def _call(self, func, args, depth):
+        if depth > 64:
+            raise InterpreterError("call depth exceeded in {}".format(func.name))
+        if len(args) != len(func.params):
+            raise InterpreterError(
+                "{} expects {} args, got {}".format(
+                    func.name, len(func.params), len(args)))
+        regs = dict(zip(func.params, args))
+        label = func.entry
+        while True:
+            block = func.block(label)
+            self.profile.record(func.name, label, len(block.instructions))
+            for instr in block.body:
+                self._steps += 1
+                if self._steps > self.step_limit:
+                    raise StepLimitExceeded(
+                        "exceeded {} steps".format(self.step_limit))
+                if instr.is_call:
+                    callee = self.program.function(instr.callee)
+                    value = self._call(
+                        callee, [self._read(regs, a, instr) for a in instr.args],
+                        depth + 1)
+                    regs[instr.dest] = value
+                else:
+                    self._execute(instr, regs)
+            term = block.terminator
+            self._steps += 1
+            if self._steps > self.step_limit:
+                raise StepLimitExceeded(
+                    "exceeded {} steps".format(self.step_limit))
+            if term.is_return:
+                if term.sources:
+                    return self._read(regs, term.sources[0], term)
+                return 0
+            label = self._branch_target(term, regs)
+
+    def _branch_target(self, term, regs):
+        if term.op == "j":
+            return term.targets[0]
+        taken, fallthrough = term.targets
+        srcs = [self._read(regs, s, term) for s in term.sources]
+        if term.op == "beq":
+            cond = srcs[0] == srcs[1]
+        elif term.op == "bne":
+            cond = srcs[0] != srcs[1]
+        elif term.op == "blez":
+            cond = _to_signed(srcs[0]) <= 0
+        elif term.op == "bgtz":
+            cond = _to_signed(srcs[0]) > 0
+        elif term.op == "bltz":
+            cond = _to_signed(srcs[0]) < 0
+        elif term.op == "bgez":
+            cond = _to_signed(srcs[0]) >= 0
+        else:
+            raise InterpreterError("unknown branch {}".format(term.op))
+        return taken if cond else fallthrough
+
+    def _read(self, regs, name, instr):
+        try:
+            return regs[name]
+        except KeyError:
+            raise InterpreterError(
+                "read of undefined register {!r} in {}".format(
+                    name, instr.pretty())) from None
+
+    def _execute(self, instr, regs):
+        op = instr.op
+        read = lambda name: self._read(regs, name, instr)
+        if op in ("li", "lui"):
+            value = instr.imm << 16 if op == "lui" else instr.imm
+            regs[instr.dest] = _to_unsigned(value)
+            return
+        if op == "move":
+            regs[instr.dest] = read(instr.sources[0])
+            return
+        if instr.is_load:
+            addr = _to_unsigned(read(instr.sources[0]) + (instr.imm or 0))
+            regs[instr.dest] = self._load(op, addr)
+            return
+        if instr.is_store:
+            value = read(instr.sources[0])
+            addr = _to_unsigned(read(instr.sources[1]) + (instr.imm or 0))
+            self._store(op, addr, value)
+            return
+        regs[instr.dest] = self._alu(op, instr, read)
+
+    def _load(self, op, addr):
+        if op == "lw":
+            return self.memory.load_word(addr)
+        if op == "lhu":
+            return self.memory.load_half(addr)
+        if op == "lh":
+            value = self.memory.load_half(addr)
+            return _to_unsigned(value - 0x10000 if value & 0x8000 else value)
+        if op == "lbu":
+            return self.memory.load_byte(addr)
+        if op == "lb":
+            value = self.memory.load_byte(addr)
+            return _to_unsigned(value - 0x100 if value & 0x80 else value)
+        raise InterpreterError("unknown load {}".format(op))
+
+    def _store(self, op, addr, value):
+        if op == "sw":
+            self.memory.store_word(addr, value)
+        elif op == "sh":
+            self.memory.store_half(addr, value)
+        elif op == "sb":
+            self.memory.store_byte(addr, value)
+        else:
+            raise InterpreterError("unknown store {}".format(op))
+
+    def _alu(self, op, instr, read):
+        a = read(instr.sources[0]) if instr.sources else 0
+        if len(instr.sources) > 1:
+            b = read(instr.sources[1])
+        else:
+            b = instr.imm if instr.imm is not None else 0
+        if op in ("add", "addu", "addi", "addiu"):
+            return _to_unsigned(a + b)
+        if op in ("sub", "subu"):
+            return _to_unsigned(a - b)
+        if op == "mult":
+            return _to_unsigned(_to_signed(a) * _to_signed(b))
+        if op == "multu":
+            return _to_unsigned(a * b)
+        if op in ("and", "andi"):
+            return a & b & _WORD_MASK
+        if op in ("or", "ori"):
+            return _to_unsigned(a | b)
+        if op in ("xor", "xori"):
+            return _to_unsigned(a ^ b)
+        if op == "nor":
+            return _to_unsigned(~(a | b))
+        if op in ("slt", "slti"):
+            return 1 if _to_signed(a) < _to_signed(b) else 0
+        if op in ("sltu", "sltiu"):
+            return 1 if _to_unsigned(a) < _to_unsigned(b) else 0
+        if op in ("sll", "sllv"):
+            return _to_unsigned(a << (b & 31))
+        if op in ("srl", "srlv"):
+            return _to_unsigned(a) >> (b & 31)
+        if op in ("sra", "srav"):
+            return _to_unsigned(_to_signed(a) >> (b & 31))
+        raise InterpreterError("unknown ALU op {}".format(op))
+
+
+def run_program(program, args=(), func_name=None, step_limit=5_000_000):
+    """One-shot helper: run and return ``(result, profile, interpreter)``."""
+    interp = Interpreter(program, step_limit=step_limit)
+    result = interp.run(func_name=func_name, args=args)
+    return result, interp.profile, interp

@@ -1,0 +1,235 @@
+"""Text assembler for IR functions.
+
+Lets users write kernels as text instead of builder calls::
+
+    func fir(coef, x):
+    entry:
+        acc = li 0
+        i   = li 0
+        zero = li 0
+        j loop
+    loop:
+        off  = sll i, 2
+        ca   = addu coef, off
+        c    = lw [ca+0]
+        xa   = addu x, off
+        v    = lw [xa+0]
+        p    = mult c, v
+        acc  = addu acc, p
+        i    = addiu i, 1
+        t    = slti i, 8
+        bne t, zero -> loop, exit
+    exit:
+        ret acc
+
+Syntax
+------
+* ``func NAME(param, ...):`` starts a function; ``LABEL:`` a block.
+* computational: ``dest = op src1, src2`` / ``dest = op src, imm`` /
+  ``dest = li imm``.
+* loads: ``dest = lw [base+offset]`` (also lb/lbu/lh/lhu).
+* stores: ``sw value, [base+offset]`` (also sb/sh).
+* branches: ``bne a, b -> taken, fallthrough`` (beq likewise);
+  one-operand forms ``blez a -> taken, fallthrough`` etc.
+* ``j label`` / ``ret [value]`` / ``dest = call f(a, b)``.
+* ``#`` starts a comment; blank lines ignored.
+
+Numbers accept decimal, ``0x`` hex and negatives.  The parser reports
+errors with line numbers via :class:`~repro.errors.ParseError`.
+"""
+
+import re
+
+from ..errors import IRError
+from ..isa.opcodes import is_known, opcode as _lookup
+from .function import IRFunction
+from .instr import CONDITIONAL_BRANCHES, IRInstr
+from .program import Program
+
+
+class ParseError(IRError):
+    """Malformed assembly text."""
+
+    def __init__(self, line_no, message):
+        super().__init__("line {}: {}".format(line_no, message))
+        self.line_no = line_no
+
+
+_FUNC_RE = re.compile(r"^func\s+(\w+)\s*\(([^)]*)\)\s*:\s*$")
+_LABEL_RE = re.compile(r"^(\w+)\s*:\s*$")
+_ASSIGN_RE = re.compile(r"^(\w+)\s*=\s*(.+)$")
+_MEM_RE = re.compile(r"^\[\s*(\w+)\s*([+-]\s*\w+)?\s*\]$")
+_BRANCH_RE = re.compile(r"^(\w+)\s+(.*?)\s*->\s*(\w+)\s*,\s*(\w+)$")
+_CALL_RE = re.compile(r"^call\s+(\w+)\s*\(([^)]*)\)$")
+
+
+def _number(token, line_no):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise ParseError(line_no, "expected a number, got {!r}".format(
+            token)) from None
+
+
+def _operands(text):
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+class _FunctionParser:
+    def __init__(self, name, params):
+        self.func = IRFunction(name, params)
+        self.block = None
+
+    def ensure_block(self, line_no):
+        if self.block is None:
+            raise ParseError(line_no, "instruction outside any block")
+        return self.block
+
+    def open_block(self, label, line_no):
+        try:
+            self.block = self.func.add_block(label)
+        except IRError as exc:
+            raise ParseError(line_no, str(exc)) from None
+
+    def parse_line(self, line, line_no):
+        branch = _BRANCH_RE.match(line)
+        if branch and branch.group(1) in CONDITIONAL_BRANCHES:
+            return self._parse_branch(branch, line_no)
+        if line.startswith("j "):
+            target = line[2:].strip()
+            self.ensure_block(line_no).terminate(
+                IRInstr("j", targets=(target,)))
+            self.block = None
+            return
+        if line == "ret" or line.startswith("ret "):
+            sources = _operands(line[3:])
+            self.ensure_block(line_no).terminate(
+                IRInstr("ret", sources=tuple(sources)))
+            self.block = None
+            return
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            return self._parse_assign(assign.group(1),
+                                      assign.group(2).strip(), line_no)
+        return self._parse_store(line, line_no)
+
+    def _parse_branch(self, match, line_no):
+        op, operand_text, taken, fallthrough = match.groups()
+        sources = _operands(operand_text)
+        expected = CONDITIONAL_BRANCHES[op]
+        if len(sources) != expected:
+            raise ParseError(line_no, "{} takes {} operand(s)".format(
+                op, expected))
+        self.ensure_block(line_no).terminate(
+            IRInstr(op, sources=tuple(sources),
+                    targets=(taken, fallthrough)))
+        self.block = None
+
+    def _parse_assign(self, dest, rhs, line_no):
+        call = _CALL_RE.match(rhs)
+        if call:
+            args = tuple(_operands(call.group(2)))
+            self.ensure_block(line_no).append(
+                IRInstr("call", dest=dest, callee=call.group(1),
+                        args=args))
+            return
+        parts = rhs.split(None, 1)
+        op = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if not is_known(op):
+            raise ParseError(line_no, "unknown mnemonic {!r}".format(op))
+        opcode = _lookup(op)
+        if opcode.category.value == "load":
+            mem = _MEM_RE.match(rest.strip())
+            if not mem:
+                raise ParseError(line_no,
+                                 "load needs a [base+offset] operand")
+            base, offset = mem.group(1), mem.group(2)
+            imm = _number(offset.replace(" ", ""), line_no) if offset else 0
+            self.ensure_block(line_no).append(
+                IRInstr(op, dest=dest, sources=(base,), imm=imm))
+            return
+        operands = _operands(rest)
+        if op in ("li", "lui"):
+            if len(operands) != 1:
+                raise ParseError(line_no, "li takes one immediate")
+            self.ensure_block(line_no).append(
+                IRInstr(op, dest=dest,
+                        imm=_number(operands[0], line_no)))
+            return
+        sources, imm = self._split_immediate(op, operands, line_no)
+        self.ensure_block(line_no).append(
+            IRInstr(op, dest=dest, sources=tuple(sources), imm=imm))
+
+    def _split_immediate(self, op, operands, line_no):
+        opcode = _lookup(op)
+        if opcode.has_immediate:
+            if len(operands) < 1:
+                raise ParseError(line_no, "{} needs operands".format(op))
+            imm = _number(operands[-1], line_no)
+            return operands[:-1], imm
+        for operand in operands:
+            if re.match(r"^-?(0x)?[0-9]", operand):
+                raise ParseError(
+                    line_no,
+                    "{} takes registers only (use the immediate form)"
+                    .format(op))
+        return operands, None
+
+    def _parse_store(self, line, line_no):
+        parts = line.split(None, 1)
+        if len(parts) != 2 or not is_known(parts[0]):
+            raise ParseError(line_no,
+                             "cannot parse {!r}".format(line))
+        op = parts[0]
+        opcode = _lookup(op)
+        if opcode.category.value != "store":
+            raise ParseError(line_no,
+                             "{} is not a statement form".format(op))
+        operands = _operands(parts[1])
+        if len(operands) != 2:
+            raise ParseError(line_no, "store needs 'value, [base+off]'")
+        mem = _MEM_RE.match(operands[1])
+        if not mem:
+            raise ParseError(line_no, "store needs a [base+offset]")
+        base, offset = mem.group(1), mem.group(2)
+        imm = _number(offset.replace(" ", ""), line_no) if offset else 0
+        self.ensure_block(line_no).append(
+            IRInstr(op, sources=(operands[0], base), imm=imm))
+
+
+def parse_functions(text):
+    """Parse assembly text into a list of verified IRFunctions."""
+    functions = []
+    current = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        func_match = _FUNC_RE.match(line)
+        if func_match:
+            if current is not None:
+                functions.append(current.func.verify())
+            params = tuple(_operands(func_match.group(2)))
+            current = _FunctionParser(func_match.group(1), params)
+            continue
+        if current is None:
+            raise ParseError(line_no, "code before any 'func' header")
+        label = _LABEL_RE.match(line)
+        if label and not is_known(label.group(1)):
+            current.open_block(label.group(1), line_no)
+            continue
+        current.parse_line(line, line_no)
+    if current is not None:
+        functions.append(current.func.verify())
+    if not functions:
+        raise ParseError(0, "no functions found")
+    return functions
+
+
+def parse_program(text, name="parsed", data=None):
+    """Parse assembly text into a :class:`~repro.ir.program.Program`."""
+    program = Program(name, data=data)
+    for func in parse_functions(text):
+        program.add_function(func)
+    return program.verify()

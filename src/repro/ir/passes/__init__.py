@@ -1,0 +1,25 @@
+"""IR optimisation passes and the -O0/-O3 pipelines."""
+
+from .constfold import constant_fold
+from .cse import local_cse
+from .dce import dead_code_elimination
+from .globalprop import global_constant_propagation
+from .inline import inline_calls
+from .licm import loop_invariant_code_motion
+from .pipeline import DEFAULT_UNROLL_FACTOR, OPT_LEVELS, optimize
+from .strength import strength_reduction
+from .unroll import unroll_loops
+
+__all__ = [
+    "DEFAULT_UNROLL_FACTOR",
+    "OPT_LEVELS",
+    "constant_fold",
+    "dead_code_elimination",
+    "global_constant_propagation",
+    "inline_calls",
+    "local_cse",
+    "loop_invariant_code_motion",
+    "optimize",
+    "strength_reduction",
+    "unroll_loops",
+]

@@ -1,0 +1,113 @@
+"""Local constant propagation and folding.
+
+Within each basic block, registers holding known constants are tracked;
+arithmetic on two constants folds to a single ``li``, and arithmetic
+with one constant operand is rewritten into the immediate form of the
+opcode where one exists (``addu`` → ``addiu`` etc.) — exactly what a
+``-O3`` compiler does before its later passes, and what enables the
+loop unroller's constant-bound detection.
+"""
+
+from ..instr import IRInstr
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def _signed(v):
+    v &= _WORD_MASK
+    return v - 0x100000000 if v & 0x80000000 else v
+
+#: op → python evaluator on unsigned 32-bit operands.
+_EVAL = {
+    "add": lambda a, b: a + b,
+    "addu": lambda a, b: a + b,
+    "addi": lambda a, b: a + b,
+    "addiu": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "subu": lambda a, b: a - b,
+    "mult": lambda a, b: _signed(a) * _signed(b),
+    "multu": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "andi": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "ori": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "xori": lambda a, b: a ^ b,
+    "nor": lambda a, b: ~(a | b),
+    "slt": lambda a, b: 1 if _signed(a) < _signed(b) else 0,
+    "slti": lambda a, b: 1 if _signed(a) < _signed(b) else 0,
+    "sltu": lambda a, b: 1 if (a & _WORD_MASK) < (b & _WORD_MASK) else 0,
+    "sltiu": lambda a, b: 1 if (a & _WORD_MASK) < (b & _WORD_MASK) else 0,
+    "sll": lambda a, b: a << (b & 31),
+    "sllv": lambda a, b: a << (b & 31),
+    "srl": lambda a, b: (a & _WORD_MASK) >> (b & 31),
+    "srlv": lambda a, b: (a & _WORD_MASK) >> (b & 31),
+    "sra": lambda a, b: _signed(a) >> (b & 31),
+    "srav": lambda a, b: _signed(a) >> (b & 31),
+}
+
+#: register-register op → immediate-form op.
+_IMMEDIATE_FORM = {
+    "addu": "addiu", "add": "addi",
+    "and": "andi", "or": "ori", "xor": "xori",
+    "slt": "slti", "sltu": "sltiu",
+    "sllv": "sll", "srlv": "srl", "srav": "sra",
+}
+
+
+def constant_fold(func):
+    """Fold constants in every block of ``func`` (in place); return func."""
+    for block in func.blocks:
+        _fold_block(block)
+    return func
+
+
+def _fold_block(block):
+    known = {}
+    new_body = []
+    for instr in block.body:
+        folded = _fold_instr(instr, known)
+        for reg in folded.defs():
+            known.pop(reg, None)
+        if folded.op == "li":
+            known[folded.dest] = folded.imm & _WORD_MASK
+        elif folded.op == "move" and folded.sources[0] in known:
+            known[folded.dest] = known[folded.sources[0]]
+        new_body.append(folded)
+    block.body[:] = new_body
+
+
+def _fold_instr(instr, known):
+    if instr.op not in _EVAL or instr.dest is None:
+        return instr
+    srcs = instr.sources
+    vals = [known.get(s) for s in srcs]
+    # Fully constant → li.
+    if len(srcs) == 2 and vals[0] is not None and vals[1] is not None:
+        result = _EVAL[instr.op](vals[0], vals[1]) & _WORD_MASK
+        return IRInstr("li", dest=instr.dest, imm=result)
+    if len(srcs) == 1 and instr.imm is not None and vals[0] is not None:
+        result = _EVAL[instr.op](vals[0], instr.imm) & _WORD_MASK
+        return IRInstr("li", dest=instr.dest, imm=result)
+    # Second operand constant → immediate form (when encodable).
+    if (len(srcs) == 2 and vals[1] is not None
+            and instr.op in _IMMEDIATE_FORM and _encodable(instr.op, vals[1])):
+        return IRInstr(_IMMEDIATE_FORM[instr.op], dest=instr.dest,
+                       sources=(srcs[0],), imm=vals[1])
+    # Algebraic identities with an immediate of zero / neutral element.
+    if instr.imm is not None and len(srcs) == 1:
+        if instr.op in ("addiu", "addi", "ori", "xori", "sll", "srl", "sra") \
+                and instr.imm == 0:
+            return IRInstr("move", dest=instr.dest, sources=(srcs[0],))
+        if instr.op == "andi" and instr.imm == 0:
+            return IRInstr("li", dest=instr.dest, imm=0)
+    return instr
+
+
+def _encodable(op, value):
+    """Whether ``value`` fits the 16-bit immediate field of ``op``'s form."""
+    if op in ("sllv", "srlv", "srav"):
+        return 0 <= value < 32
+    if op in ("and", "or", "xor", "sltu"):
+        return 0 <= value <= 0xFFFF          # zero-extended immediates
+    return -0x8000 <= _signed(value) <= 0x7FFF

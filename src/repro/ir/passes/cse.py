@@ -1,0 +1,113 @@
+"""Local common-subexpression elimination via value numbering.
+
+Within one basic block, pure computations with identical opcodes and
+operand value numbers are computed once; later occurrences become
+``move`` instructions (cleaned up by copy propagation in the same
+pass).  Memory and call instructions act as barriers for loads.
+"""
+
+from ..instr import IRInstr
+
+#: Opcodes whose operand order does not matter.
+_COMMUTATIVE = {
+    "add", "addu", "mult", "multu", "and", "or", "xor", "nor",
+}
+
+
+def local_cse(func):
+    """Run local CSE + copy propagation on every block (in place)."""
+    for block in func.blocks:
+        _cse_block(block)
+    return func
+
+
+def _cse_block(block):
+    value_number = {}       # register -> value number
+    expr_table = {}         # expression key -> (value number, register)
+    next_vn = [0]
+    copies = {}             # register -> canonical register
+
+    def vn_of(reg):
+        if reg not in value_number:
+            value_number[reg] = next_vn[0]
+            next_vn[0] += 1
+        return value_number[reg]
+
+    def fresh_vn():
+        next_vn[0] += 1
+        return next_vn[0] - 1
+
+    new_body = []
+    for instr in block.body:
+        instr = _propagate_copies(instr, copies)
+        if instr.is_call or instr.is_store:
+            # Conservative barrier: invalidate all remembered loads.
+            expr_table = {k: v for k, v in expr_table.items()
+                          if not k[0].startswith("load:")}
+        key = _expr_key(instr, vn_of)
+        if key is not None and key in expr_table:
+            prior_vn, prior_reg = expr_table[key]
+            value_number[instr.dest] = prior_vn
+            copies = {k: v for k, v in copies.items()
+                      if k != instr.dest and v != instr.dest}
+            canonical = copies.get(prior_reg, prior_reg)
+            if canonical != instr.dest:
+                copies[instr.dest] = canonical
+            new_body.append(
+                IRInstr("move", dest=instr.dest, sources=(prior_reg,)))
+        else:
+            if instr.dest is not None:
+                value_number[instr.dest] = fresh_vn()
+                # Redefinition invalidates copies *of* the register as
+                # well as copies *to* it (the swap idiom tmp=a; a=b;
+                # b=tmp must not propagate tmp -> a).
+                copies = {k: v for k, v in copies.items()
+                          if k != instr.dest and v != instr.dest}
+                if key is not None:
+                    expr_table[key] = (value_number[instr.dest], instr.dest)
+                if instr.op == "move":
+                    src = instr.sources[0]
+                    canonical = copies.get(src, src)
+                    if canonical != instr.dest:
+                        copies[instr.dest] = canonical
+                    value_number[instr.dest] = vn_of(src)
+            # A redefinition invalidates expressions naming the old value:
+            # value numbers handle that implicitly (the register got a new
+            # number), but canonical result registers may now be stale.
+            if instr.dest is not None:
+                expr_table = {k: v for k, v in expr_table.items()
+                              if v[1] != instr.dest or k == key}
+            new_body.append(instr)
+    if block.terminator is not None:
+        block.terminator = _propagate_copies(block.terminator, copies)
+    block.body[:] = new_body
+
+
+def _propagate_copies(instr, copies):
+    """Rename *uses* through the copy map (defs must stay untouched)."""
+    if not copies:
+        return instr
+    mapping = {reg: copies[reg] for reg in instr.uses() if reg in copies}
+    if not mapping:
+        return instr
+    return instr.copy(
+        sources=tuple(mapping.get(s, s) for s in instr.sources),
+        args=tuple(mapping.get(a, a) for a in instr.args),
+    )
+
+
+def _expr_key(instr, vn_of):
+    """Hashable expression identity of a pure computation, else None."""
+    if instr.dest is None or instr.is_call or instr.is_store:
+        return None
+    if instr.op == "move":
+        return None
+    if instr.is_load:
+        operands = tuple(vn_of(s) for s in instr.sources)
+        return ("load:" + instr.op, operands, instr.imm)
+    if instr.is_constant:
+        return (instr.op, (), instr.imm)
+    operands = [vn_of(s) for s in instr.sources]
+    if instr.op in _COMMUTATIVE:
+        operands.sort()
+    return (instr.op, tuple(operands), instr.imm)

@@ -1,0 +1,47 @@
+"""Dead-code elimination driven by global liveness.
+
+An instruction is dead when it is pure (no store, no call) and its
+destination is not live immediately after it.  The pass iterates to a
+fixed point because removing one dead instruction can kill another.
+"""
+
+from ..analysis import liveness
+
+
+def dead_code_elimination(func):
+    """Remove dead pure instructions from every block (in place)."""
+    changed = True
+    while changed:
+        changed = False
+        __, live_out = liveness(func)
+        for block in func.blocks:
+            if _sweep_block(block, live_out[block.label]):
+                changed = True
+    return func
+
+
+def _sweep_block(block, live_out):
+    live = set(live_out)
+    if block.terminator is not None:
+        live.update(block.terminator.uses())
+    kept_reversed = []
+    changed = False
+    for instr in reversed(block.body):
+        if _is_removable(instr, live):
+            changed = True
+            continue
+        kept_reversed.append(instr)
+        for reg in instr.defs():
+            live.discard(reg)
+        live.update(instr.uses())
+    if changed:
+        block.body[:] = list(reversed(kept_reversed))
+    return changed
+
+
+def _is_removable(instr, live):
+    if instr.is_store or instr.is_call:
+        return False
+    if instr.dest is None:
+        return False
+    return instr.dest not in live

@@ -1,0 +1,64 @@
+"""Global constant propagation.
+
+Local constant folding only sees constants defined in the same block;
+loop bounds, masks and table bases are typically materialised once in
+the entry block and used everywhere.  This pass finds registers with a
+*unique* ``li`` definition in the whole function (they hold the same
+value at every use) and rewrites their uses across block boundaries:
+
+* register-register ops with an encodable constant second operand turn
+  into their immediate form (``addu`` → ``addiu`` …), commuting the
+  operands first when the opcode allows,
+* ``move dest, constreg`` becomes ``li dest, value``,
+* fully-constant operations fold to ``li`` outright.
+
+The defining ``li`` itself is left in place; dead-code elimination
+removes it once the last use is rewritten.
+"""
+
+from ..analysis import unique_constant_defs
+from ..instr import IRInstr
+from .constfold import _EVAL, _IMMEDIATE_FORM, _encodable
+
+_WORD_MASK = 0xFFFFFFFF
+
+_COMMUTATIVE = {"add", "addu", "mult", "multu", "and", "or", "xor", "nor"}
+
+
+def global_constant_propagation(func):
+    """Propagate unique-``li`` constants across blocks (in place)."""
+    constants = unique_constant_defs(func)
+    if not constants:
+        return func
+    for block in func.blocks:
+        block.body[:] = [_rewrite(instr, constants)
+                         for instr in block.body]
+    return func
+
+
+def _rewrite(instr, constants):
+    if instr.is_call or instr.is_store or instr.is_load:
+        return instr
+    if instr.dest is not None and instr.dest in constants:
+        return instr                        # never touch the unique def
+    if instr.op == "move" and instr.sources[0] in constants:
+        return IRInstr("li", dest=instr.dest,
+                       imm=constants[instr.sources[0]] & _WORD_MASK)
+    if instr.op not in _EVAL or len(instr.sources) != 2:
+        return instr
+    a, b = instr.sources
+    va = constants.get(a)
+    vb = constants.get(b)
+    if va is not None and vb is not None:
+        value = _EVAL[instr.op](va & _WORD_MASK, vb & _WORD_MASK)
+        return IRInstr("li", dest=instr.dest, imm=value & _WORD_MASK)
+    if vb is None and va is not None and instr.op in _COMMUTATIVE:
+        a, b = b, a
+        vb = va
+    if vb is None:
+        return instr
+    form = _IMMEDIATE_FORM.get(instr.op)
+    if form is None or not _encodable(instr.op, vb & _WORD_MASK):
+        return instr
+    return IRInstr(form, dest=instr.dest, sources=(a,),
+                   imm=vb & _WORD_MASK)

@@ -1,0 +1,106 @@
+"""Function inlining.
+
+Replaces ``call`` instructions with the callee's blocks, the way gcc's
+``-O3`` does for small functions.  Inlining before the other passes
+lets constant folding and CSE see across the old call boundary and —
+important for this paper — merges callee code into the caller's hot
+blocks, further enlarging the DFGs handed to ISE exploration.
+"""
+
+import itertools
+
+from ..instr import IRInstr
+
+#: Callees with more blocks than this are not inlined.
+_MAX_CALLEE_BLOCKS = 12
+#: Hard cap on inlining substitutions per program (recursion guard).
+_MAX_SUBSTITUTIONS = 256
+
+
+def inline_calls(program, max_callee_blocks=_MAX_CALLEE_BLOCKS):
+    """Inline small direct calls in every function of ``program``."""
+    budget = _MAX_SUBSTITUTIONS
+    for func in program.functions:
+        changed = True
+        while changed and budget > 0:
+            changed = _inline_one(program, func, max_callee_blocks)
+            if changed:
+                budget -= 1
+    program.verify()
+    return program
+
+
+def _inline_one(program, func, max_callee_blocks):
+    """Inline the first eligible call in ``func``; True when one fired."""
+    for block in func.blocks:
+        for index, instr in enumerate(block.body):
+            if not instr.is_call:
+                continue
+            callee = program.function(instr.callee)
+            if callee.name == func.name:
+                continue                      # never inline recursion
+            if len(callee.blocks) > max_callee_blocks:
+                continue
+            _substitute(func, block, index, instr, callee)
+            return True
+    return False
+
+
+def _substitute(func, block, index, call, callee):
+    """Splice ``callee`` into ``func`` replacing the call at ``index``."""
+    suffix = "_inl{}".format(_unique_id(func))
+    rename_regs = {reg: reg + suffix for reg in callee.virtual_registers()}
+    rename_labels = {lbl: lbl + suffix for lbl in callee.labels}
+
+    # Continuation block: the tail of the split caller block.
+    cont_label = block.label + "_cont" + suffix
+    cont = func.add_block(cont_label)
+    cont.body = block.body[index + 1:]
+    cont.terminator = block.terminator
+    cont.annotations = dict(block.annotations)
+
+    # Head: argument moves, then jump into the renamed callee entry.
+    block.body = block.body[:index]
+    block.terminator = None
+    block.annotations = {}
+    for param, arg in zip(callee.params, call.args):
+        block.append(IRInstr("move", dest=rename_regs[param], sources=(arg,)))
+    block.terminate(IRInstr("j", targets=(rename_labels[callee.entry],)))
+
+    # Splice renamed callee blocks; rets become result move + jump.
+    for src in callee.blocks:
+        new = func.add_block(rename_labels[src.label])
+        new.annotations = dict(src.annotations)
+        for instr in src.body:
+            new.append(_rename(instr, rename_regs, rename_labels))
+        term = src.terminator
+        if term.is_return:
+            if term.sources:
+                new.append(IRInstr(
+                    "move", dest=call.dest,
+                    sources=(rename_regs.get(term.sources[0], term.sources[0]),)))
+            else:
+                new.append(IRInstr("li", dest=call.dest, imm=0))
+            new.terminate(IRInstr("j", targets=(cont_label,)))
+        else:
+            new.terminate(_rename(term, rename_regs, rename_labels))
+
+
+def _rename(instr, rename_regs, rename_labels):
+    renamed = instr.rename(rename_regs)
+    if renamed.targets:
+        renamed = renamed.copy(
+            targets=tuple(rename_labels.get(t, t) for t in renamed.targets))
+    return renamed
+
+
+_counter = itertools.count(1)
+
+
+def _unique_id(func):
+    """Process-unique suffix id; uniqueness per function is sufficient."""
+    del func
+    return next(_counter)
+
+
+__all__ = ["inline_calls"]

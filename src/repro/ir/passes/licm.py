@@ -1,0 +1,105 @@
+"""Loop-invariant code motion for single-block self-loops.
+
+gcc's ``-O3`` hoists computations whose operands do not change inside a
+loop; this pass does the same for the loop shape the rest of the
+pipeline optimises (self-loop blocks): a *preheader* block is inserted
+in front of the loop, every edge into the loop from outside is
+retargeted to it, and invariant pure instructions move there.
+
+An instruction is invariant when it is pure (no load — memory may be
+written inside the loop —, no store, no call) and every register it
+reads is either never defined inside the loop or defined only by
+instructions already proven invariant.  Instructions whose destination
+is defined more than once in the loop, or whose destination is read
+before its definition (carried around the back edge), must not move.
+"""
+
+from ..instr import IRInstr
+
+_PURE_PREFIXES = ("li", "lui", "move")
+
+
+def loop_invariant_code_motion(func):
+    """Hoist invariant code out of every self-loop (in place)."""
+    for label in list(func.labels):
+        block = func.block(label)
+        if _is_self_loop(block):
+            _hoist(func, block)
+    return func
+
+
+def _is_self_loop(block):
+    term = block.terminator
+    return (term is not None and term.is_conditional
+            and block.label in term.targets)
+
+
+def _is_pure(instr):
+    if instr.is_call or instr.is_store or instr.is_load:
+        return False
+    return instr.dest is not None
+
+
+def _hoist(func, block):
+    body = block.body
+    defs_count = {}
+    for instr in body:
+        for reg in instr.defs():
+            defs_count[reg] = defs_count.get(reg, 0) + 1
+    # Registers read before their (first) definition are loop-carried.
+    carried = set()
+    defined = set()
+    for instr in body:
+        for reg in instr.uses():
+            if reg not in defined and defs_count.get(reg):
+                carried.add(reg)
+        defined.update(instr.defs())
+    carried.update(reg for reg in block.terminator.uses()
+                   if reg not in defined and defs_count.get(reg))
+
+    invariant_regs = set()
+    hoisted = []
+    changed = True
+    marked = [False] * len(body)
+    while changed:
+        changed = False
+        for index, instr in enumerate(body):
+            if marked[index] or not _is_pure(instr):
+                continue
+            dest = instr.dest
+            if defs_count.get(dest, 0) != 1 or dest in carried:
+                continue
+            if all(defs_count.get(reg, 0) == 0 or reg in invariant_regs
+                   for reg in instr.uses()):
+                marked[index] = True
+                invariant_regs.add(dest)
+                changed = True
+    if not any(marked):
+        return
+    hoisted = [instr for index, instr in enumerate(body) if marked[index]]
+    block.body[:] = [instr for index, instr in enumerate(body)
+                     if not marked[index]]
+    _insert_preheader(func, block, hoisted)
+
+
+def _insert_preheader(func, block, hoisted):
+    pre_label = block.label + ".preheader"
+    suffix = 0
+    while func.has_block(pre_label):
+        suffix += 1
+        pre_label = "{}.preheader{}".format(block.label, suffix)
+    preheader = func.add_block(pre_label)
+    for instr in hoisted:
+        preheader.append(instr)
+    preheader.terminate(IRInstr("j", targets=(block.label,)))
+    # Retarget every outside edge into the loop.
+    for other in func.blocks:
+        if other is block or other is preheader:
+            continue
+        term = other.terminator
+        if term is not None and block.label in term.targets:
+            new_targets = tuple(pre_label if t == block.label else t
+                                for t in term.targets)
+            other.terminator = term.copy(targets=new_targets)
+    if func.entry == block.label:
+        func.entry = pre_label

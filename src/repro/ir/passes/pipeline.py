@@ -1,0 +1,49 @@
+"""Optimisation pipelines mimicking gcc's -O0 and -O3.
+
+The thesis compiles every benchmark twice, with ``-O0`` and ``-O3``;
+the optimisation level matters to ISE exploration mainly through basic
+block size (unrolling/inlining at -O3) and through the cleanliness of
+the dataflow (folding/CSE remove artificial dependences).  ``optimize``
+clones the input program, so callers keep the unoptimised original.
+"""
+
+from .constfold import constant_fold
+from .cse import local_cse
+from .dce import dead_code_elimination
+from .globalprop import global_constant_propagation
+from .inline import inline_calls
+from .licm import loop_invariant_code_motion
+from .strength import strength_reduction
+from .unroll import unroll_loops
+
+#: Default unroll factor at -O3 (gcc 2.7-era unrolling was modest).
+DEFAULT_UNROLL_FACTOR = 4
+
+OPT_LEVELS = ("O0", "O3")
+
+
+def optimize(program, level="O3", unroll_factor=DEFAULT_UNROLL_FACTOR):
+    """Return an optimised clone of ``program`` at the given level."""
+    if level not in OPT_LEVELS:
+        raise ValueError("unknown optimisation level {!r}".format(level))
+    result = program.clone()
+    if level == "O0":
+        return result.verify()
+    inline_calls(result)
+    for func in result.functions:
+        _scalar_cleanup(func)
+        loop_invariant_code_motion(func)
+        _scalar_cleanup(func)
+        unroll_loops(func, factor=unroll_factor)
+        _scalar_cleanup(func)
+    return result.verify()
+
+
+def _scalar_cleanup(func):
+    """Propagate / fold / CSE / reduce / DCE to a practical fixed point."""
+    for _ in range(2):
+        global_constant_propagation(func)
+        constant_fold(func)
+        local_cse(func)
+        strength_reduction(func)
+        dead_code_elimination(func)

@@ -1,0 +1,69 @@
+"""Strength reduction.
+
+Rewrites expensive operations into cheaper equivalents the way a
+production compiler would before instruction selection:
+
+* multiply by a power-of-two constant → left shift,
+* multiply by 0 → ``li 0``; multiply by 1 → ``move``,
+* ``x - x`` / ``x ^ x`` → ``li 0``,
+* ``x & x`` / ``x | x`` → ``move``.
+
+Only multiplications with a *known constant* operand are rewritten, so
+the pass runs after constant folding (which materialises the constant
+registers this pass needs to see).
+"""
+
+from ..instr import IRInstr
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def strength_reduction(func):
+    """Apply strength reductions to every block (in place)."""
+    for block in func.blocks:
+        _reduce_block(block)
+    return func
+
+
+def _reduce_block(block):
+    known = {}
+    new_body = []
+    for instr in block.body:
+        reduced = _reduce_instr(instr, known)
+        for reg in reduced.defs():
+            known.pop(reg, None)
+        if reduced.op == "li":
+            known[reduced.dest] = reduced.imm & _WORD_MASK
+        new_body.append(reduced)
+    block.body[:] = new_body
+
+
+def _reduce_instr(instr, known):
+    op = instr.op
+    if op in ("mult", "multu") and len(instr.sources) == 2:
+        a, b = instr.sources
+        for x, y in ((a, b), (b, a)):
+            value = known.get(y)
+            if value is None:
+                continue
+            if value == 0:
+                return IRInstr("li", dest=instr.dest, imm=0)
+            if value == 1:
+                return IRInstr("move", dest=instr.dest, sources=(x,))
+            shift = _log2_exact(value)
+            if shift is not None:
+                return IRInstr("sll", dest=instr.dest, sources=(x,), imm=shift)
+    if len(instr.sources) == 2 and instr.sources[0] == instr.sources[1]:
+        x = instr.sources[0]
+        if op in ("sub", "subu", "xor"):
+            return IRInstr("li", dest=instr.dest, imm=0)
+        if op in ("and", "or"):
+            return IRInstr("move", dest=instr.dest, sources=(x,))
+    return instr
+
+
+def _log2_exact(value):
+    """log2 of a positive power of two, else None."""
+    if value <= 0 or value & (value - 1):
+        return None
+    return value.bit_length() - 1

@@ -1,0 +1,223 @@
+"""Loop unrolling for single-block counted loops.
+
+The paper's -O3 results hinge on gcc's unrolling enlarging basic blocks
+(§5.2: "the bigger basic block usually has a larger search space").
+This pass reproduces that effect: it finds self-loop blocks whose
+control slice is driven entirely by compile-time constants, computes
+the exact trip count by simulating that slice, and replicates the loop
+body ``factor`` times with the intermediate exit tests removed.
+
+To stay exact, the replication factor is clipped to the largest divisor
+of the trip count not exceeding the requested factor, so the remaining
+loop test exits at precisely the right iteration and no prologue or
+epilogue code is needed.  Workload trip counts are powers of two, so in
+practice the requested factor is used as-is.
+"""
+
+from ..analysis import unique_constant_defs
+from .constfold import _EVAL
+
+_WORD_MASK = 0xFFFFFFFF
+_MAX_SIMULATED_ITERATIONS = 1 << 20
+
+
+def unroll_loops(func, factor=4, max_body=128):
+    """Unroll every eligible self-loop of ``func`` in place; return func.
+
+    ``max_body`` caps the unrolled body size in instructions, like
+    gcc's ``max-unrolled-insns`` parameter — without it an already-large
+    loop body would explode into blocks no scheduler (or ISE explorer)
+    handles gracefully.
+    """
+    if factor < 2:
+        return func
+    constants = unique_constant_defs(func)
+    for block in func.blocks:
+        if "unrolled_by" in block.annotations:
+            continue
+        trip = _trip_count(func, block, constants)
+        if trip is None or trip < 2:
+            continue
+        size_cap = max(1, max_body // max(1, len(block.body)))
+        chosen = _largest_divisor_at_most(trip, min(factor, size_cap))
+        if chosen < 2:
+            continue
+        block.body[:] = block.body * chosen
+        block.annotations["unrolled_by"] = chosen
+        block.annotations["trip_count"] = trip
+    return func
+
+
+def _largest_divisor_at_most(n, bound):
+    for candidate in range(min(n, bound), 1, -1):
+        if n % candidate == 0:
+            return candidate
+    return 1
+
+
+def _is_self_loop(block):
+    term = block.terminator
+    return (term is not None and term.is_conditional
+            and block.label in term.targets)
+
+
+def _trip_count(func, block, constants):
+    """Exact trip count of a self-loop block, or None when unknown."""
+    if not _is_self_loop(block):
+        return None
+    if "trip_count" in block.annotations and "unrolled_by" not in block.annotations:
+        return int(block.annotations["trip_count"])
+    slice_instrs, entry_regs = _control_slice(block)
+    if slice_instrs is None:
+        return None
+    env = _entry_environment(func, block, entry_regs, constants)
+    if env is None:
+        return None
+    return _simulate(block, slice_instrs, env)
+
+
+def _control_slice(block):
+    """Body instructions feeding the branch condition, in program order.
+
+    Returns ``(instrs, entry_regs)`` where ``entry_regs`` are the slice
+    registers whose value at loop entry must be discovered, or
+    ``(None, None)`` when the slice contains an unevaluable instruction
+    (load, call, ...).
+    """
+    needed = set(block.terminator.uses())
+    slice_positions = []
+    for index in range(len(block.body) - 1, -1, -1):
+        instr = block.body[index]
+        if not needed.intersection(instr.defs()):
+            continue
+        if instr.op == "li":
+            pass
+        elif instr.op == "move" or instr.op in _EVAL:
+            pass
+        else:
+            return None, None
+        slice_positions.append(index)
+        for reg in instr.defs():
+            needed.discard(reg)
+        needed.update(instr.uses())
+    slice_positions.reverse()
+    return [block.body[i] for i in slice_positions], needed
+
+
+def _entry_environment(func, block, entry_regs, constants):
+    """Values of the slice's entry registers on first entering the loop."""
+    env = {}
+    preds = [b for b in func.blocks
+             if block.label in b.successors() and b.label != block.label]
+    for reg in entry_regs:
+        if reg in constants:
+            env[reg] = constants[reg] & _WORD_MASK
+            continue
+        value = _agreed_predecessor_constant(func, preds, reg)
+        if value is None:
+            return None
+        env[reg] = value & _WORD_MASK
+    return env
+
+
+def _agreed_predecessor_constant(func, preds, reg):
+    """Constant value of ``reg`` on exit of every predecessor, or None.
+
+    Each predecessor body is abstractly evaluated over the constant
+    lattice (``li``/``move``/ALU ops on known values propagate, anything
+    else maps its destination to unknown), so the detection survives CSE
+    rewriting ``li`` chains into ``move``s.  A predecessor that does not
+    define ``reg`` delegates to *its* unique predecessor (walking
+    through preheaders LICM may have inserted).
+    """
+    if not preds:
+        return None
+    values = set()
+    for pred in preds:
+        value = _constant_at_exit(func, pred, reg, depth=8)
+        if value is None:
+            return None
+        values.add(value)
+    return values.pop() if len(values) == 1 else None
+
+
+def _constant_at_exit(func, block, reg, depth):
+    """Constant value of ``reg`` when control leaves ``block``."""
+    known = {}
+    defined = set()
+    for instr in block.body:
+        result = _abstract_eval(instr, known)
+        for dest in instr.defs():
+            defined.add(dest)
+            if result is None:
+                known.pop(dest, None)
+            else:
+                known[dest] = result
+    if reg in known:
+        return known[reg]
+    if reg in defined or depth <= 0:
+        return None
+    uppers = [b for b in func.blocks
+              if b is not block and block.label in b.successors()]
+    if len(uppers) != 1:
+        return None
+    return _constant_at_exit(func, uppers[0], reg, depth - 1)
+
+
+def _abstract_eval(instr, known):
+    """Constant value produced by ``instr`` under ``known``, or None."""
+    if instr.op == "li":
+        return instr.imm & _WORD_MASK
+    if instr.op == "move":
+        return known.get(instr.sources[0])
+    if instr.op in _EVAL and instr.dest is not None:
+        a = known.get(instr.sources[0])
+        if a is None:
+            return None
+        if len(instr.sources) > 1:
+            b = known.get(instr.sources[1])
+        else:
+            b = instr.imm if instr.imm is not None else 0
+        if b is None:
+            return None
+        return _EVAL[instr.op](a, b) & _WORD_MASK
+    return None
+
+
+def _simulate(block, slice_instrs, env):
+    """Run the control slice until the loop exits; return the trip count."""
+    env = dict(env)
+    term = block.terminator
+    continue_on_taken = term.targets[0] == block.label
+    trips = 0
+    while trips < _MAX_SIMULATED_ITERATIONS:
+        for instr in slice_instrs:
+            if instr.op == "li":
+                env[instr.dest] = instr.imm & _WORD_MASK
+            elif instr.op == "move":
+                env[instr.dest] = env[instr.sources[0]]
+            else:
+                a = env[instr.sources[0]]
+                b = (env[instr.sources[1]] if len(instr.sources) > 1
+                     else instr.imm or 0)
+                env[instr.dest] = _EVAL[instr.op](a, b) & _WORD_MASK
+        trips += 1
+        if _branch_taken(term, env) != continue_on_taken:
+            return trips
+    return None
+
+
+def _branch_taken(term, env):
+    srcs = [env[s] for s in term.sources]
+    signed = [s - 0x100000000 if s & 0x80000000 else s for s in srcs]
+    if term.op == "beq":
+        return srcs[0] == srcs[1]
+    if term.op == "bne":
+        return srcs[0] != srcs[1]
+    if term.op == "blez":
+        return signed[0] <= 0
+    if term.op == "bgtz":
+        return signed[0] > 0
+    if term.op == "bltz":
+        return signed[0] < 0
+    return signed[0] >= 0    # bgez

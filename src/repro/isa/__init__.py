@@ -1,0 +1,23 @@
+"""PISA-like instruction-set model (opcodes, operations, register file)."""
+
+from .opcodes import (
+    OpCategory,
+    Opcode,
+    all_opcodes,
+    groupable_opcodes,
+    is_known,
+    opcode,
+)
+from .instruction import Operation
+from .registers import RegisterFile
+
+__all__ = [
+    "OpCategory",
+    "Opcode",
+    "Operation",
+    "RegisterFile",
+    "all_opcodes",
+    "groupable_opcodes",
+    "is_known",
+    "opcode",
+]

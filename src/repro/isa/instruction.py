@@ -1,0 +1,86 @@
+"""Operation objects — the vertices of a data-flow graph.
+
+The thesis calls every assembly instruction in a basic block an
+"operation" (or "node").  :class:`Operation` stores the opcode, the
+SSA-like value names it reads and writes, and an optional immediate.
+Identity is by ``uid`` (unique within one DFG), so two ``addu``
+operations never compare equal.
+"""
+
+from .opcodes import Opcode, opcode as _lookup
+
+
+class Operation:
+    """A single PISA-like operation inside a basic block.
+
+    Parameters
+    ----------
+    uid:
+        Integer identifier unique within the containing basic block /
+        DFG.  Used as the networkx node key.
+    op:
+        Either an :class:`~repro.isa.opcodes.Opcode` or a mnemonic
+        string (looked up in the opcode table).
+    sources:
+        Names of the values read (registers/temporaries).  Immediates
+        are *not* listed here.
+    dests:
+        Names of the values written (usually one).
+    immediate:
+        Optional immediate operand.
+    """
+
+    __slots__ = ("uid", "opcode", "sources", "dests", "immediate")
+
+    def __init__(self, uid, op, sources=(), dests=(), immediate=None):
+        self.uid = int(uid)
+        self.opcode = op if isinstance(op, Opcode) else _lookup(op)
+        self.sources = tuple(sources)
+        self.dests = tuple(dests)
+        self.immediate = immediate
+
+    @property
+    def name(self):
+        """Mnemonic of the opcode."""
+        return self.opcode.name
+
+    @property
+    def groupable(self):
+        """True when this operation may be packed into an ISE."""
+        return self.opcode.groupable
+
+    @property
+    def is_memory(self):
+        """True for loads and stores."""
+        return self.opcode.is_memory
+
+    @property
+    def register_reads(self):
+        """Register file read ports this operation consumes."""
+        return len(self.sources)
+
+    @property
+    def register_writes(self):
+        """Register file write ports this operation consumes."""
+        return len(self.dests)
+
+    def __repr__(self):
+        imm = "" if self.immediate is None else ", imm={}".format(self.immediate)
+        return "Operation(#{} {} {} <- {}{})".format(
+            self.uid, self.name, list(self.dests), list(self.sources), imm)
+
+    def __eq__(self, other):
+        return isinstance(other, Operation) and other.uid == self.uid
+
+    def __hash__(self):
+        return hash(self.uid)
+
+    def pretty(self):
+        """Assembly-like one-line rendering."""
+        parts = [self.name]
+        operands = list(self.dests) + list(self.sources)
+        if self.immediate is not None:
+            operands.append(str(self.immediate))
+        if operands:
+            parts.append(", ".join(str(x) for x in operands))
+        return " ".join(parts)

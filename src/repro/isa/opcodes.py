@@ -1,0 +1,198 @@
+"""PISA-like opcode definitions.
+
+The evaluation of the paper targets the Portable Instruction Set
+Architecture (PISA) of SimpleScalar, a MIPS-like load/store ISA.  This
+module enumerates the subset of PISA relevant to ISE exploration and
+tags each opcode with the properties the rest of the library needs:
+
+* a :class:`OpCategory` (ALU, shift, multiply, memory, branch, ...),
+* whether the opcode may legally be packed into an ISE (§4.2 forbids
+  loads and stores; branches terminate basic blocks so never appear
+  inside a DFG),
+* the number of register sources / destinations of the canonical form.
+
+Table 5.1.1 of the thesis lists hardware implementation options only
+for the groupable opcodes; :mod:`repro.hwlib.database` keys off the
+names defined here.
+"""
+
+import enum
+
+from ..errors import UnknownOpcodeError
+
+
+class OpCategory(enum.Enum):
+    """Coarse functional class of an opcode.
+
+    The scheduler maps categories onto function-unit types and the
+    hardware database stores one (delay, area) record per groupable
+    category member.
+    """
+
+    ALU = "alu"            # add/sub/logic/compare
+    SHIFT = "shift"
+    MULTIPLY = "multiply"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    CALL = "call"
+    MOVE = "move"          # register moves / immediates
+    PSEUDO = "pseudo"      # phi-like copies introduced by the front end
+
+
+class Opcode:
+    """One opcode of the PISA-like instruction set.
+
+    Parameters
+    ----------
+    name:
+        Assembly mnemonic, e.g. ``"addu"``.
+    category:
+        The :class:`OpCategory` of the opcode.
+    num_sources / num_dests:
+        Register operand counts of the canonical three-address form.
+    has_immediate:
+        True when the second source is an immediate rather than a
+        register (``addi`` et al.).  Immediates do not consume register
+        file read ports.
+    groupable:
+        True when §4.2 allows the opcode inside an ISE.
+    """
+
+    __slots__ = ("name", "category", "num_sources", "num_dests",
+                 "has_immediate", "groupable")
+
+    def __init__(self, name, category, num_sources=2, num_dests=1,
+                 has_immediate=False, groupable=True):
+        self.name = name
+        self.category = category
+        self.num_sources = num_sources
+        self.num_dests = num_dests
+        self.has_immediate = has_immediate
+        self.groupable = groupable
+
+    def __repr__(self):
+        return "Opcode({!r})".format(self.name)
+
+    def __eq__(self, other):
+        return isinstance(other, Opcode) and other.name == self.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+    @property
+    def is_memory(self):
+        """True for loads and stores (never groupable into ISEs)."""
+        return self.category in (OpCategory.LOAD, OpCategory.STORE)
+
+    @property
+    def is_control(self):
+        """True for branches and calls."""
+        return self.category in (OpCategory.BRANCH, OpCategory.CALL)
+
+    @property
+    def register_reads(self):
+        """Register file read ports consumed by one instance."""
+        if self.has_immediate and self.num_sources > 0:
+            return self.num_sources - 1
+        return self.num_sources
+
+
+def _build_table():
+    a, s, m = OpCategory.ALU, OpCategory.SHIFT, OpCategory.MULTIPLY
+    table = {}
+
+    def op(name, category, **kwargs):
+        table[name] = Opcode(name, category, **kwargs)
+
+    # Arithmetic (Table 5.1.1 rows: add/addi/addu/addiu, sub/subu).
+    op("add", a)
+    op("addi", a, has_immediate=True)
+    op("addu", a)
+    op("addiu", a, has_immediate=True)
+    op("sub", a)
+    op("subu", a)
+    # Multiplies.
+    op("mult", m)
+    op("multu", m)
+    # Logic (and/andi, or/ori, xor/xori, nor).
+    op("and", a)
+    op("andi", a, has_immediate=True)
+    op("or", a)
+    op("ori", a, has_immediate=True)
+    op("xor", a)
+    op("xori", a, has_immediate=True)
+    op("nor", a)
+    # Set-on-less-than family.
+    op("slt", a)
+    op("slti", a, has_immediate=True)
+    op("sltu", a)
+    op("sltiu", a, has_immediate=True)
+    # Shifts (sll/sllv/srl/srlv/sra/srav). The non-v forms shift by an
+    # immediate amount.
+    op("sll", s, has_immediate=True)
+    op("sllv", s)
+    op("srl", s, has_immediate=True)
+    op("srlv", s)
+    op("sra", s, has_immediate=True)
+    op("srav", s)
+    # Moves / constants — executed on ALU ports, groupable (they fold
+    # into ASFU wiring for free but we keep the conservative view of
+    # treating them like 1-source ALU ops).
+    op("lui", OpCategory.MOVE, num_sources=0, has_immediate=True,
+       groupable=False)
+    op("li", OpCategory.MOVE, num_sources=0, has_immediate=True,
+       groupable=False)
+    op("move", OpCategory.MOVE, num_sources=1, groupable=False)
+    # Memory — never groupable (§4.2 constraint 4).
+    op("lw", OpCategory.LOAD, num_sources=1, groupable=False)
+    op("lh", OpCategory.LOAD, num_sources=1, groupable=False)
+    op("lhu", OpCategory.LOAD, num_sources=1, groupable=False)
+    op("lb", OpCategory.LOAD, num_sources=1, groupable=False)
+    op("lbu", OpCategory.LOAD, num_sources=1, groupable=False)
+    op("sw", OpCategory.STORE, num_sources=2, num_dests=0, groupable=False)
+    op("sh", OpCategory.STORE, num_sources=2, num_dests=0, groupable=False)
+    op("sb", OpCategory.STORE, num_sources=2, num_dests=0, groupable=False)
+    # Control — terminates basic blocks.
+    op("beq", OpCategory.BRANCH, num_sources=2, num_dests=0, groupable=False)
+    op("bne", OpCategory.BRANCH, num_sources=2, num_dests=0, groupable=False)
+    op("blez", OpCategory.BRANCH, num_sources=1, num_dests=0, groupable=False)
+    op("bgtz", OpCategory.BRANCH, num_sources=1, num_dests=0, groupable=False)
+    op("bltz", OpCategory.BRANCH, num_sources=1, num_dests=0, groupable=False)
+    op("bgez", OpCategory.BRANCH, num_sources=1, num_dests=0, groupable=False)
+    op("j", OpCategory.BRANCH, num_sources=0, num_dests=0, groupable=False)
+    op("jal", OpCategory.CALL, num_sources=0, num_dests=0, groupable=False)
+    op("jr", OpCategory.BRANCH, num_sources=1, num_dests=0, groupable=False)
+    # Contracted ISE supernode — created when a found candidate is fixed
+    # into the DFG between exploration rounds.  Never re-groupable.
+    op("ise", OpCategory.PSEUDO, num_sources=0, num_dests=0, groupable=False)
+    return table
+
+
+_OPCODES = _build_table()
+
+
+def opcode(name):
+    """Look up an :class:`Opcode` by mnemonic.
+
+    Raises :class:`~repro.errors.UnknownOpcodeError` for unknown names.
+    """
+    try:
+        return _OPCODES[name]
+    except KeyError:
+        raise UnknownOpcodeError(name) from None
+
+
+def all_opcodes():
+    """Return every defined opcode, sorted by mnemonic."""
+    return [op for _, op in sorted(_OPCODES.items())]
+
+
+def groupable_opcodes():
+    """Return the opcodes that §4.2 allows inside an ISE."""
+    return [op for op in all_opcodes() if op.groupable]
+
+
+def is_known(name):
+    """True when ``name`` is a defined mnemonic."""
+    return name in _OPCODES

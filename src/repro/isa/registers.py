@@ -1,0 +1,63 @@
+"""Register-file model.
+
+The multi-issue machine of chapter 5 is characterised (amongst other
+things) by the number of register-file read and write ports — 4/2, 6/3,
+8/4 and 10/5 in the evaluation.  :class:`RegisterFile` is a small value
+object that the scheduler and the ISE constraints consult for per-cycle
+port budgets.
+"""
+
+from ..errors import ConfigError
+
+
+class RegisterFile:
+    """A register file with a fixed number of read and write ports.
+
+    Parameters
+    ----------
+    read_ports / write_ports:
+        Per-cycle operand bandwidth.  The paper writes these as
+        ``read/write``, e.g. ``6/3``.
+    num_registers:
+        Architectural register count (PISA has 32 integer registers);
+        only used for sanity checks in the interpreter front end.
+    """
+
+    __slots__ = ("read_ports", "write_ports", "num_registers")
+
+    def __init__(self, read_ports, write_ports, num_registers=32):
+        if read_ports < 1 or write_ports < 1:
+            raise ConfigError("register file needs at least 1R/1W port")
+        if num_registers < 1:
+            raise ConfigError("register file needs at least one register")
+        self.read_ports = int(read_ports)
+        self.write_ports = int(write_ports)
+        self.num_registers = int(num_registers)
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Parse a paper-style ``"6/3"`` port specification."""
+        try:
+            read_s, write_s = spec.split("/")
+            return cls(int(read_s), int(write_s))
+        except (ValueError, AttributeError):
+            raise ConfigError(
+                "register port spec must look like '6/3', got {!r}".format(spec)
+            ) from None
+
+    @property
+    def spec(self):
+        """The paper-style ``"R/W"`` string."""
+        return "{}/{}".format(self.read_ports, self.write_ports)
+
+    def __repr__(self):
+        return "RegisterFile({})".format(self.spec)
+
+    def __eq__(self, other):
+        return (isinstance(other, RegisterFile)
+                and other.read_ports == self.read_ports
+                and other.write_ports == self.write_ports
+                and other.num_registers == self.num_registers)
+
+    def __hash__(self):
+        return hash((self.read_ports, self.write_ports, self.num_registers))

@@ -1,0 +1,73 @@
+"""VLIW bundle emission.
+
+Turns a finished :class:`~repro.sched.list_scheduler.Schedule` back
+into assembly-like text: one bundle per cycle, the operations of each
+bundle separated by ``||`` the way VLIW assemblers write parallel
+issue, with ISE supernodes rendered as custom-instruction mnemonics
+(``ise0 dst..., src...``) and multi-cycle units annotated with their
+latency.  This is how a downstream user inspects what the flow actually
+did to a block.
+"""
+
+
+def emit_bundles(schedule, dfg=None, names=None):
+    """Render a schedule as VLIW bundles (one line per cycle).
+
+    Parameters
+    ----------
+    schedule:
+        The :class:`~repro.sched.list_scheduler.Schedule` to render.
+    dfg:
+        Optional source DFG; when given, software units print their
+        full assembly form instead of just the uid, and ISE units list
+        their input/output value names.
+    names:
+        Optional map unit-uid → mnemonic override (e.g. the selected
+        ISE's final name).
+
+    Returns the text; bundles of empty cycles print as ``nop``.
+    """
+    names = names or {}
+    lines = []
+    for cycle in range(schedule.makespan):
+        slots = []
+        for uid in schedule.at_cycle(cycle):
+            slots.append(_render_unit(schedule.units[uid], uid, dfg, names))
+        if slots:
+            lines.append("{{ {} }}".format("  ||  ".join(slots)))
+        else:
+            lines.append("{ nop }")
+    return "\n".join(lines)
+
+
+def _render_unit(unit, uid, dfg, names):
+    if unit.is_ise:
+        mnemonic = names.get(uid, str(uid))
+        detail = ""
+        if dfg is not None:
+            from ..graph.analysis import input_values, output_values
+            ins = ",".join(sorted(input_values(dfg, unit.members)))
+            outs = ",".join(sorted(output_values(dfg, unit.members)))
+            detail = " {} <- {}".format(outs or "-", ins or "-")
+        latency = " [{}cyc]".format(unit.latency) if unit.latency > 1 else ""
+        return "{}{}{}".format(mnemonic, detail, latency)
+    if dfg is not None and uid in dfg.graph:
+        text = dfg.op(uid).pretty()
+    else:
+        text = str(uid)
+    if unit.latency > 1:
+        text += " [{}cyc]".format(unit.latency)
+    return text
+
+
+def emit_block_listing(dfg, schedule, title=None):
+    """Bundle listing with a header (ops, cycles, utilisation)."""
+    header = title or "block {}:{}".format(dfg.function, dfg.label)
+    cycles = schedule.makespan or 1
+    used = len(schedule.start)
+    lines = [
+        "; {} — {} units in {} cycles ({:.2f} units/cycle)".format(
+            header, used, schedule.makespan, used / cycles),
+        emit_bundles(schedule, dfg=dfg),
+    ]
+    return "\n".join(lines)

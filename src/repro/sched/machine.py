@@ -1,0 +1,109 @@
+"""Multi-issue machine configuration.
+
+The evaluation grid of §5.1 varies issue width (2-4) and register-file
+ports (4/2 … 10/5).  :class:`MachineConfig` bundles those with a
+function-unit mix and the technology (clock) assumptions.  The default
+FU mix follows the usual embedded-VLIW convention: every slot can do
+ALU work, one multiplier, one memory port, one branch unit, and one
+ASFU slot for ISEs.
+"""
+
+from ..errors import ConfigError
+from ..hwlib.technology import DEFAULT_TECHNOLOGY
+from ..isa.registers import RegisterFile
+
+
+class MachineConfig:
+    """A multiple-issue in-order machine.
+
+    Parameters
+    ----------
+    issue_width:
+        Instructions issued per cycle.
+    register_file:
+        A :class:`~repro.isa.registers.RegisterFile` or a ``"R/W"``
+        spec string.
+    fu_counts:
+        Mapping FU kind → units available per cycle.  Defaults to
+        ``alu=issue_width, mul=1, mem=1, branch=1, asfu=1``.
+    technology:
+        Clock/process assumptions; defaults to 100 MHz @ 0.13 µm.
+    """
+
+    def __init__(self, issue_width, register_file, fu_counts=None,
+                 technology=None):
+        if issue_width < 1:
+            raise ConfigError("issue width must be >= 1")
+        self.issue_width = int(issue_width)
+        if isinstance(register_file, str):
+            register_file = RegisterFile.from_spec(register_file)
+        self.register_file = register_file
+        defaults = {
+            "alu": self.issue_width,
+            "mul": 1,
+            "mem": 1,
+            "branch": 1,
+            "asfu": 1,
+        }
+        if fu_counts:
+            defaults.update(fu_counts)
+        for kind, count in defaults.items():
+            if count < 0:
+                raise ConfigError("negative count for FU kind {!r}".format(kind))
+        self.fu_counts = defaults
+        self.technology = technology or DEFAULT_TECHNOLOGY
+
+    @classmethod
+    def from_paper_case(cls, spec):
+        """Build one of the six §5.1 cases, e.g. ``"2-issue 4/2"``.
+
+        Accepts ``"<w>-issue <R>/<W>"`` or the figure-label form
+        ``"(4/2, 2IS)"``.
+        """
+        text = spec.strip().strip("()").replace(",", " ")
+        parts = [p for p in text.split() if p]
+        issue, ports = None, None
+        for part in parts:
+            lowered = part.lower()
+            if lowered.endswith("-issue"):
+                issue = int(lowered.split("-")[0])
+            elif lowered.endswith("is"):
+                issue = int(lowered[:-2])
+            elif "/" in part:
+                ports = part
+        if issue is None or ports is None:
+            raise ConfigError("cannot parse machine spec {!r}".format(spec))
+        return cls(issue, ports)
+
+    @property
+    def label(self):
+        """Figure-style label, e.g. ``"(4/2, 2IS)"``."""
+        return "({}, {}IS)".format(self.register_file.spec, self.issue_width)
+
+    def __repr__(self):
+        return "MachineConfig({}-issue, RF {})".format(
+            self.issue_width, self.register_file.spec)
+
+    def __eq__(self, other):
+        return (isinstance(other, MachineConfig)
+                and other.issue_width == self.issue_width
+                and other.register_file == self.register_file
+                and other.fu_counts == self.fu_counts
+                and other.technology == self.technology)
+
+    def __hash__(self):
+        return hash((self.issue_width, self.register_file,
+                     tuple(sorted(self.fu_counts.items())), self.technology))
+
+
+#: The six (ports, issue-width) cases evaluated in §5.1.
+PAPER_CASES = (
+    ("4/2", 2), ("6/3", 2),
+    ("6/3", 3), ("8/4", 3),
+    ("8/4", 4), ("10/5", 4),
+)
+
+
+def paper_machines():
+    """The six machines of the §5.1 grid, in figure order."""
+    return [MachineConfig(width, ports) for ports, width in PAPER_CASES]

@@ -1,0 +1,74 @@
+"""Scheduling-priority (SP) functions.
+
+The thesis computes SP as "the number of child operations", and notes
+in its future-work section that other priority functions (mobility,
+depth) change which path is identified as critical.  All three are
+provided; :func:`get_priority` resolves a name to a callable with
+signature ``fn(graph, latency_of) -> {node: priority}`` where larger
+values mean *schedule earlier*.
+"""
+
+import networkx as nx
+
+from ..errors import ConfigError
+
+
+def children_count(graph, latency_of=None):
+    """Paper default: SP = number of immediate successors."""
+    del latency_of
+    return {node: graph.out_degree(node) for node in graph.nodes}
+
+
+def depth(graph, latency_of=None):
+    """SP = longest latency-weighted path from the node to any sink."""
+    if latency_of is None:
+        latency_of = lambda node: 1
+    tail = {}
+    for node in reversed(list(nx.topological_sort(graph))):
+        best = 0
+        for succ in graph.successors(node):
+            best = max(best, tail[succ])
+        tail[node] = best + latency_of(node)
+    return tail
+
+
+def mobility(graph, latency_of=None):
+    """SP = −slack: zero-slack (critical) operations come first."""
+    if latency_of is None:
+        latency_of = lambda node: 1
+    asap = {}
+    for node in nx.topological_sort(graph):
+        earliest = 0
+        for pred in graph.predecessors(node):
+            earliest = max(earliest, asap[pred] + latency_of(pred))
+        asap[node] = earliest
+    horizon = max((asap[n] + latency_of(n) for n in graph.nodes), default=0)
+    alap = {}
+    for node in reversed(list(nx.topological_sort(graph))):
+        latest = horizon - latency_of(node)
+        for succ in graph.successors(node):
+            latest = min(latest, alap[succ] - latency_of(node))
+        alap[node] = latest
+    return {node: -(alap[node] - asap[node]) for node in graph.nodes}
+
+
+_PRIORITIES = {
+    "children": children_count,
+    "depth": depth,
+    "mobility": mobility,
+}
+
+
+def get_priority(name):
+    """Resolve a priority function by name."""
+    try:
+        return _PRIORITIES[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown priority {!r}; choose from {}".format(
+                name, sorted(_PRIORITIES))) from None
+
+
+def priority_names():
+    """Names of the registered SP functions."""
+    return sorted(_PRIORITIES)

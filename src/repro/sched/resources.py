@@ -1,0 +1,95 @@
+"""Per-cycle resource reservation table.
+
+Tracks, per cycle: issue slots, register-file read/write ports, and
+function units by kind.  Both the exploration-internal incremental
+scheduler (Operation-Scheduling) and the final list scheduler consult
+and update the same table type; the exploration side additionally needs
+to *revise* a placed reservation when a hardware operation joins an
+existing ISE cluster, which :meth:`release` + re-:meth:`place` support.
+"""
+
+from ..errors import SchedulingError
+
+
+class Needs:
+    """Resource demand of one issued instruction in one cycle."""
+
+    __slots__ = ("issue", "reads", "writes", "fu_kind", "fu_count")
+
+    def __init__(self, reads=0, writes=0, fu_kind="alu", fu_count=1, issue=1):
+        self.issue = int(issue)
+        self.reads = int(reads)
+        self.writes = int(writes)
+        self.fu_kind = fu_kind
+        self.fu_count = int(fu_count)
+
+    def __repr__(self):
+        return "Needs(issue={}, r={}, w={}, fu={}x{})".format(
+            self.issue, self.reads, self.writes, self.fu_kind, self.fu_count)
+
+
+class ReservationTable:
+    """Sparse per-cycle usage counters against a machine's budgets."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._issue = {}
+        self._reads = {}
+        self._writes = {}
+        self._fus = {}
+
+    def usage(self, cycle):
+        """Current ``(issue, reads, writes, {fu: used})`` at a cycle."""
+        return (self._issue.get(cycle, 0),
+                self._reads.get(cycle, 0),
+                self._writes.get(cycle, 0),
+                dict(self._fus.get(cycle, {})))
+
+    def fits(self, cycle, needs):
+        """True when ``needs`` fits in the remaining budget of ``cycle``."""
+        machine = self.machine
+        if self._issue.get(cycle, 0) + needs.issue > machine.issue_width:
+            return False
+        rf = machine.register_file
+        if self._reads.get(cycle, 0) + needs.reads > rf.read_ports:
+            return False
+        if self._writes.get(cycle, 0) + needs.writes > rf.write_ports:
+            return False
+        available = machine.fu_counts.get(needs.fu_kind, 0)
+        used = self._fus.get(cycle, {}).get(needs.fu_kind, 0)
+        if used + needs.fu_count > available:
+            return False
+        return True
+
+    def place(self, cycle, needs):
+        """Commit ``needs`` at ``cycle``; raises when it does not fit."""
+        if cycle < 0:
+            raise SchedulingError("cannot place at negative cycle")
+        if not self.fits(cycle, needs):
+            raise SchedulingError(
+                "resources exhausted at cycle {}: {}".format(cycle, needs))
+        self._issue[cycle] = self._issue.get(cycle, 0) + needs.issue
+        self._reads[cycle] = self._reads.get(cycle, 0) + needs.reads
+        self._writes[cycle] = self._writes.get(cycle, 0) + needs.writes
+        per_fu = self._fus.setdefault(cycle, {})
+        per_fu[needs.fu_kind] = per_fu.get(needs.fu_kind, 0) + needs.fu_count
+
+    def release(self, cycle, needs):
+        """Undo a previous :meth:`place` (cluster-revision support)."""
+        self._issue[cycle] = self._issue.get(cycle, 0) - needs.issue
+        self._reads[cycle] = self._reads.get(cycle, 0) - needs.reads
+        self._writes[cycle] = self._writes.get(cycle, 0) - needs.writes
+        per_fu = self._fus.setdefault(cycle, {})
+        per_fu[needs.fu_kind] = per_fu.get(needs.fu_kind, 0) - needs.fu_count
+        if (self._issue[cycle] < 0 or self._reads[cycle] < 0
+                or self._writes[cycle] < 0 or per_fu[needs.fu_kind] < 0):
+            raise SchedulingError("release without matching place")
+
+    def first_fit(self, needs, not_before=0, horizon=1 << 20):
+        """Earliest cycle ≥ ``not_before`` where ``needs`` fits."""
+        cycle = max(0, int(not_before))
+        while cycle < horizon:
+            if self.fits(cycle, needs):
+                return cycle
+            cycle += 1
+        raise SchedulingError("no feasible cycle below horizon")

@@ -1,0 +1,117 @@
+"""Schedulable units and DFG contraction.
+
+A *unit* is what the list scheduler places: either a single software
+operation or a whole ISE (a contracted group of operations executing on
+an ASFU).  :func:`contract_dfg` folds chosen ISE groups of a DFG into
+supernodes and returns the unit graph both the final scheduler and the
+exploration-side analyses operate on.
+"""
+
+import networkx as nx
+
+from ..errors import SchedulingError
+from ..graph.analysis import input_values, output_values
+from ..hwlib.asfu import subgraph_area, subgraph_delay_ns
+from ..isa.opcodes import OpCategory
+from .resources import Needs
+
+
+class SchedUnit:
+    """One schedulable unit: a software op or an ISE supernode."""
+
+    __slots__ = ("uid", "latency", "needs", "members", "is_ise", "area")
+
+    def __init__(self, uid, latency, needs, members, is_ise=False, area=0.0):
+        self.uid = uid
+        self.latency = int(latency)
+        self.needs = needs
+        self.members = frozenset(members)
+        self.is_ise = is_ise
+        self.area = float(area)
+
+    def __repr__(self):
+        kind = "ISE" if self.is_ise else "op"
+        return "SchedUnit({} {}, lat={}, members={})".format(
+            kind, self.uid, self.latency, sorted(self.members))
+
+
+def software_needs(operation):
+    """Per-cycle resource demand of one software operation."""
+    category = operation.opcode.category
+    if category == OpCategory.MULTIPLY:
+        fu_kind = "mul"
+    elif category in (OpCategory.LOAD, OpCategory.STORE):
+        fu_kind = "mem"
+    elif operation.opcode.is_control:
+        fu_kind = "branch"
+    else:
+        fu_kind = "alu"
+    return Needs(reads=len(operation.sources),
+                 writes=len(operation.dests),
+                 fu_kind=fu_kind)
+
+
+def contract_dfg(dfg, ise_groups, technology, software_cycles=None):
+    """Contract ISE groups of ``dfg`` into supernodes.
+
+    Parameters
+    ----------
+    dfg:
+        The source :class:`~repro.graph.dfg.DFG`.
+    ise_groups:
+        Iterable of ``(members, option_of)`` pairs: a set of node uids
+        and a mapping uid → chosen
+        :class:`~repro.hwlib.options.HardwareOption`.  Groups must be
+        disjoint.
+    technology:
+        Converts ASFU combinational delay to cycles.
+    software_cycles:
+        Optional mapping uid → latency for non-grouped operations
+        (default 1 cycle each, the paper's assumption).
+
+    Returns
+    -------
+    (graph, units):
+        ``graph`` — a DiGraph over unit uids; ``units`` — dict uid →
+        :class:`SchedUnit`.  ISE unit uids are strings ``"ise<N>"``;
+        software units keep their integer uids.
+    """
+    unit_of = {}
+    units = {}
+    for index, (members, option_of) in enumerate(ise_groups):
+        members = frozenset(members)
+        uid = "ise{}".format(index)
+        taken = members.intersection(unit_of)
+        if taken:
+            raise SchedulingError(
+                "ISE groups overlap on nodes {}".format(sorted(taken)))
+        delay = subgraph_delay_ns(dfg.graph, members,
+                                  lambda n: option_of[n])
+        area = subgraph_area(members, lambda n: option_of[n])
+        needs = Needs(reads=len(input_values(dfg, members)),
+                      writes=len(output_values(dfg, members)),
+                      fu_kind="asfu")
+        units[uid] = SchedUnit(uid, technology.cycles_for_delay(delay),
+                               needs, members, is_ise=True, area=area)
+        for member in members:
+            unit_of[member] = uid
+    for node in dfg.nodes:
+        if node in unit_of:
+            continue
+        operation = dfg.op(node)
+        latency = 1
+        if software_cycles is not None:
+            latency = software_cycles.get(node, 1)
+        units[node] = SchedUnit(node, latency, software_needs(operation),
+                                (node,))
+        unit_of[node] = node
+    graph = nx.DiGraph()
+    graph.add_nodes_from(units)
+    for src, dst in dfg.graph.edges:
+        u, v = unit_of[src], unit_of[dst]
+        if u != v:
+            graph.add_edge(u, v)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise SchedulingError("contraction produced a cycle "
+                              "(non-convex ISE group)")
+    return graph, units

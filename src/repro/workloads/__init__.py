@@ -1,0 +1,12 @@
+"""The seven §5.1 benchmarks, written as IR kernels."""
+
+from .registry import (
+    Workload,
+    all_workloads,
+    extra_workloads,
+    get_workload,
+    workload_names,
+)
+
+__all__ = ["Workload", "all_workloads", "extra_workloads", "get_workload",
+           "workload_names"]

@@ -1,0 +1,221 @@
+"""ADPCM workload (MiBench telecomm/adpcm analogue).
+
+IMA ADPCM encoder: per 16-bit sample, quantise the prediction error to
+a 4-bit code using the standard step-size and index tables, update the
+predictor, and clamp.  The control structure follows the reference C
+coder (sign test, three-step quantisation with branches, saturation
+branches), producing the branchy small-block profile the original
+benchmark has.
+
+:func:`reference` mirrors the integer arithmetic exactly.
+"""
+
+from ..ir.builder import FunctionBuilder
+from ..ir.program import DataSegment, Program
+
+_MASK = 0xFFFFFFFF
+
+#: Standard IMA ADPCM tables (public-domain constants).
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+SAMPLE_COUNT = 64
+
+
+def input_samples(count=SAMPLE_COUNT):
+    """Deterministic synthetic speech-ish samples in [-4000, 4000]."""
+    state = 0xBADC0DE5
+    samples = []
+    value = 0
+    for __ in range(count):
+        state = (state * 22695477 + 1) & _MASK
+        delta = (state >> 16) % 801 - 400
+        value = max(-4000, min(4000, value + delta))
+        samples.append(value)
+    return samples
+
+
+def build(count=SAMPLE_COUNT):
+    """Build the encoder program; returns ``(Program, args)``."""
+    data = DataSegment()
+    samples = data.place_words(
+        "samples", [s & _MASK for s in input_samples(count)])
+    index_tab = data.place_words(
+        "index_table", [v & _MASK for v in INDEX_TABLE])
+    step_tab = data.place_words("step_table", STEP_TABLE)
+
+    b = FunctionBuilder(
+        "adpcm_encode", params=("samples", "n", "index_tab", "step_tab"))
+    b.label("entry")
+    b.li(0, dest="zero")
+    b.li(0, dest="i")
+    b.li(0, dest="valpred")
+    b.li(0, dest="index")
+    b.li(0, dest="acc")
+    b.jump("sample_loop")
+
+    b.label("sample_loop")
+    soff = b.sll("i", 2)
+    b.lw(b.addu("samples", soff), dest="sample")
+    ioff = b.sll("index", 2)
+    b.lw(b.addu("step_tab", ioff), dest="step")
+    b.subu("sample", "valpred", dest="diff")
+    t = b.slt("diff", "zero")
+    b.bne(t, "zero", "neg_diff", "quant0")
+
+    b.label("neg_diff")
+    b.li(8, dest="sign")
+    b.subu("zero", "diff", dest="diff")
+    b.jump("quant1")
+
+    b.label("quant0")
+    b.li(0, dest="sign")
+    b.jump("quant1")
+
+    # -- three-step quantisation (delta bits 4, 2, 1) --
+    b.label("quant1")
+    b.li(0, dest="delta")
+    b.srl("step", 3, dest="vpdiff")
+    t1 = b.slt("diff", "step")
+    b.bne(t1, "zero", "quant2", "q1_take")
+
+    b.label("q1_take")
+    b.ori("delta", 4, dest="delta")
+    b.subu("diff", "step", dest="diff")
+    b.addu("vpdiff", "step", dest="vpdiff")
+    b.jump("quant2")
+
+    b.label("quant2")
+    b.srl("step", 1, dest="step2")
+    t2 = b.slt("diff", "step2")
+    b.bne(t2, "zero", "quant3", "q2_take")
+
+    b.label("q2_take")
+    b.ori("delta", 2, dest="delta")
+    b.subu("diff", "step2", dest="diff")
+    b.addu("vpdiff", "step2", dest="vpdiff")
+    b.jump("quant3")
+
+    b.label("quant3")
+    b.srl("step", 2, dest="step4")
+    t3 = b.slt("diff", "step4")
+    b.bne(t3, "zero", "update", "q3_take")
+
+    b.label("q3_take")
+    b.ori("delta", 1, dest="delta")
+    b.addu("vpdiff", "step4", dest="vpdiff")
+    b.jump("update")
+
+    # -- predictor update + saturation --
+    b.label("update")
+    b.beq("sign", "zero", "pred_add", "pred_sub")
+
+    b.label("pred_sub")
+    b.subu("valpred", "vpdiff", dest="valpred")
+    b.jump("clamp_low")
+
+    b.label("pred_add")
+    b.addu("valpred", "vpdiff", dest="valpred")
+    b.jump("clamp_high")
+
+    b.label("clamp_high")
+    b.li(32767, dest="pmax")
+    tc = b.slt("pmax", "valpred")
+    b.bne(tc, "zero", "sat_high", "index_update")
+    b.label("sat_high")
+    b.move("pmax", dest="valpred")
+    b.jump("index_update")
+
+    b.label("clamp_low")
+    b.li(-32768, dest="pmin")
+    td = b.slt("valpred", "pmin")
+    b.bne(td, "zero", "sat_low", "index_update")
+    b.label("sat_low")
+    b.move("pmin", dest="valpred")
+    b.jump("index_update")
+
+    # -- index update + clamp to [0, 88] --
+    b.label("index_update")
+    b.or_("delta", "sign", dest="code")
+    coff = b.sll("code", 2)
+    adj = b.lw(b.addu("index_tab", coff))
+    b.addu("index", adj, dest="index")
+    te = b.slt("index", "zero")
+    b.bne(te, "zero", "index_zero", "index_high")
+    b.label("index_zero")
+    b.li(0, dest="index")
+    b.jump("emit")
+    b.label("index_high")
+    b.li(88, dest="imax")
+    tf = b.slt("imax", "index")
+    b.bne(tf, "zero", "index_cap", "emit")
+    b.label("index_cap")
+    b.move("imax", dest="index")
+    b.jump("emit")
+
+    # -- fold the 4-bit code into the checksum --
+    b.label("emit")
+    rot = b.sll("acc", 4)
+    hi = b.srl("acc", 28)
+    rolled = b.or_(rot, hi)
+    b.xor(rolled, "code", dest="acc")
+    b.addiu("i", 1, dest="i")
+    tg = b.sltu("i", "n")
+    b.bne(tg, "zero", "sample_loop", "finish")
+
+    b.label("finish")
+    b.ret("acc")
+
+    program = Program("adpcm", data=data)
+    program.add_function(b.finish())
+    return program, (samples, count, index_tab, step_tab)
+
+
+def reference(count=SAMPLE_COUNT):
+    """Bit-exact mirror of the IR encoder; returns the checksum."""
+    valpred = 0
+    index = 0
+    acc = 0
+    for sample in input_samples(count):
+        step = STEP_TABLE[index]
+        diff = sample - valpred
+        sign = 8 if diff < 0 else 0
+        if diff < 0:
+            diff = -diff
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta |= 4
+            diff -= step
+            vpdiff += step
+        if diff >= (step >> 1):
+            delta |= 2
+            diff -= step >> 1
+            vpdiff += step >> 1
+        if diff >= (step >> 2):
+            delta |= 1
+            vpdiff += step >> 2
+        if sign:
+            valpred -= vpdiff
+            if valpred < -32768:
+                valpred = -32768
+        else:
+            valpred += vpdiff
+            if valpred > 32767:
+                valpred = 32767
+        code = delta | sign
+        index += INDEX_TABLE[code]
+        index = max(0, min(88, index))
+        acc = (((acc << 4) | (acc >> 28)) ^ code) & _MASK
+    return acc

@@ -1,0 +1,116 @@
+"""Bitcount workload (MiBench automotive/bitcount analogue).
+
+Counts the set bits of an array of words three ways, like the original
+benchmark's kernel medley:
+
+* SWAR popcount — straight-line shift/mask/add tree (prime ISE fodder),
+* Kernighan's loop — data-dependent trip count (never unrollable),
+* 4-bit nibble table lookups from memory.
+
+The entry function sums all three counters so every kernel's result is
+live.  Reference: Python ``int.bit_count`` arithmetic.
+"""
+
+from ..ir.builder import FunctionBuilder
+from ..ir.program import DataSegment, Program
+
+WORD_COUNT = 48
+
+
+def input_words(count=WORD_COUNT):
+    """Deterministic test vector."""
+    state = 0xC0FFEE01
+    words = []
+    for __ in range(count):
+        state = (state ^ (state << 13)) & 0xFFFFFFFF
+        state = (state ^ (state >> 17)) & 0xFFFFFFFF
+        state = (state ^ (state << 5)) & 0xFFFFFFFF
+        words.append(state)
+    return words
+
+
+def build(count=WORD_COUNT):
+    """Build the bitcount program; returns ``(Program, args)``."""
+    data = DataSegment()
+    buf = data.place_words("words", input_words(count))
+    nibble_table = [bin(i).count("1") for i in range(16)]
+    table = data.place_words("nibbles", nibble_table)
+
+    b = FunctionBuilder("bitcount", params=("buf", "n", "table"))
+    b.label("entry")
+    b.li(0, dest="zero")
+    b.li(0, dest="i")
+    b.li(0, dest="total")
+    b.jump("word_loop")
+
+    b.label("word_loop")
+    offset = b.sll("i", 2)
+    addr = b.addu("buf", offset)
+    x = b.lw(addr)
+
+    # --- SWAR popcount (straight-line chain) ---
+    b.li(0x55555555, dest="m1")
+    b.li(0x33333333, dest="m2")
+    b.li(0x0F0F0F0F, dest="m4")
+    b.li(0x01010101, dest="h01")
+    s1 = b.srl(x, 1)
+    a1 = b.and_(s1, "m1")
+    v1 = b.subu(x, a1)
+    s2 = b.srl(v1, 2)
+    a2 = b.and_(s2, "m2")
+    a3 = b.and_(v1, "m2")
+    v2 = b.addu(a2, a3)
+    s3 = b.srl(v2, 4)
+    v3 = b.addu(v2, s3)
+    v4 = b.and_(v3, "m4")
+    v5 = b.mult(v4, "h01")
+    swar = b.srl(v5, 24)
+    b.addu("total", swar, dest="total")
+
+    # --- nibble-table lookup on the low 16 bits ---
+    n0 = b.andi(x, 0xF)
+    n1a = b.srl(x, 4)
+    n1 = b.andi(n1a, 0xF)
+    n2a = b.srl(x, 8)
+    n2 = b.andi(n2a, 0xF)
+    n3a = b.srl(x, 12)
+    n3 = b.andi(n3a, 0xF)
+    for nib in (n0, n1, n2, n3):
+        woff = b.sll(nib, 2)
+        waddr = b.addu("table", woff)
+        cnt = b.lw(waddr)
+        b.addu("total", cnt, dest="total")
+
+    b.move(x, dest="k")
+    b.jump("kernighan")
+
+    # --- Kernighan loop: data-dependent trips ---
+    b.label("kernighan")
+    b.beq("k", "zero", "word_latch", "kern_body")
+    b.label("kern_body")
+    km1 = b.addiu("k", -1)
+    b.and_("k", km1, dest="k")
+    b.addiu("total", 1, dest="total")
+    b.jump("kernighan")
+
+    b.label("word_latch")
+    b.addiu("i", 1, dest="i")
+    t = b.sltu("i", "n")
+    b.bne(t, "zero", "word_loop", "finish")
+
+    b.label("finish")
+    b.ret("total")
+
+    program = Program("bitcount", data=data)
+    program.add_function(b.finish())
+    return program, (buf, count, table)
+
+
+def reference(count=WORD_COUNT):
+    """Expected result of running the default input."""
+    total = 0
+    for word in input_words(count):
+        pop = bin(word).count("1")
+        low16 = bin(word & 0xFFFF).count("1")
+        total += pop + low16 + pop      # SWAR + nibbles(low16) + Kernighan
+    return total & 0xFFFFFFFF

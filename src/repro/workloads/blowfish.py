@@ -1,0 +1,154 @@
+"""Blowfish workload (MiBench security/blowfish analogue).
+
+The Feistel core of Blowfish: 16 rounds of ``xl ^= P[i]; xr ^= F(xl)``
+with ``F(x) = ((S0[a] + S1[b]) ^ S2[c]) + S3[d]`` over four S-box
+lookups per round.  The 16-round loop has a constant bound, so -O3
+unrolls it into a long add/xor chain interleaved with (ungroupable)
+loads — a classic crypto ISE scenario.
+
+The paper's benchmark uses the real pi-digit S-boxes; they are 4 KiB of
+constants, so this reproduction fills the boxes from a deterministic
+xorshift PRNG instead.  The dataflow, table sizes and round structure
+are identical, which is what the exploration algorithm sees.
+:func:`reference` mirrors the arithmetic bit-exactly.
+"""
+
+from ..ir.builder import FunctionBuilder
+from ..ir.program import DataSegment, Program
+
+_MASK = 0xFFFFFFFF
+
+ROUNDS = 16
+BLOCK_COUNT = 8
+
+
+def _prng_words(seed, count):
+    state = seed
+    words = []
+    for __ in range(count):
+        state = (state ^ (state << 13)) & _MASK
+        state = (state ^ (state >> 7)) & _MASK
+        state = (state ^ (state << 17)) & _MASK
+        words.append(state)
+    return words
+
+
+def p_array():
+    """18-entry P-array (deterministic stand-in for the pi digits)."""
+    return _prng_words(0x243F6A88, ROUNDS + 2)
+
+
+def s_boxes():
+    """Four 256-entry S-boxes."""
+    return [_prng_words(0x85A308D3 + box, 256) for box in range(4)]
+
+
+def input_blocks(count=BLOCK_COUNT):
+    """(xl, xr) plaintext pairs."""
+    words = _prng_words(0x13198A2E, 2 * count)
+    return list(zip(words[0::2], words[1::2]))
+
+
+def build(count=BLOCK_COUNT):
+    """Build the encryptor program; returns ``(Program, args)``."""
+    data = DataSegment()
+    p_base = data.place_words("P", p_array())
+    boxes = s_boxes()
+    s_bases = [data.place_words("S{}".format(i), boxes[i]) for i in range(4)]
+    flat = [w for pair in input_blocks(count) for w in pair]
+    blocks = data.place_words("blocks", flat)
+
+    b = FunctionBuilder(
+        "bf_encrypt",
+        params=("blocks", "nblocks", "p", "s0", "s1", "s2", "s3"))
+    b.label("entry")
+    b.li(0, dest="zero")
+    b.li(0, dest="blk")
+    b.li(0, dest="acc")
+    b.jump("block_loop")
+
+    b.label("block_loop")
+    boff = b.sll("blk", 3)
+    base = b.addu("blocks", boff)
+    b.lw(base, 0, dest="xl")
+    b.lw(base, 4, dest="xr")
+    b.move(base, dest="baddr")
+    b.li(0, dest="round")
+    b.jump("round_loop")
+
+    # 16 constant trips — unrolled at -O3.
+    b.label("round_loop")
+    poff = b.sll("round", 2)
+    p_i = b.lw(b.addu("p", poff))
+    b.xor("xl", p_i, dest="xl")
+    # F(xl)
+    a_idx = b.srl("xl", 24)
+    b_raw = b.srl("xl", 16)
+    b_idx = b.andi(b_raw, 0xFF)
+    c_raw = b.srl("xl", 8)
+    c_idx = b.andi(c_raw, 0xFF)
+    d_idx = b.andi("xl", 0xFF)
+    s0v = b.lw(b.addu("s0", b.sll(a_idx, 2)))
+    s1v = b.lw(b.addu("s1", b.sll(b_idx, 2)))
+    s2v = b.lw(b.addu("s2", b.sll(c_idx, 2)))
+    s3v = b.lw(b.addu("s3", b.sll(d_idx, 2)))
+    f1 = b.addu(s0v, s1v)
+    f2 = b.xor(f1, s2v)
+    f3 = b.addu(f2, s3v)
+    b.xor("xr", f3, dest="xr")
+    # swap halves
+    b.move("xl", dest="tmp")
+    b.move("xr", dest="xl")
+    b.move("tmp", dest="xr")
+    b.addiu("round", 1, dest="round")
+    t = b.slti("round", ROUNDS)
+    b.bne(t, "zero", "round_loop", "final_xor")
+
+    b.label("final_xor")
+    # undo last swap, apply P[16], P[17]
+    b.move("xl", dest="tmp")
+    b.move("xr", dest="xl")
+    b.move("tmp", dest="xr")
+    p16 = b.lw("p", 16 * 4)
+    p17 = b.lw("p", 17 * 4)
+    b.xor("xr", p16, dest="xr")
+    b.xor("xl", p17, dest="xl")
+    b.sw("xl", "baddr", 0)
+    b.sw("xr", "baddr", 4)
+    mix = b.xor("xl", "xr")
+    rot = b.sll("acc", 1)
+    hi = b.srl("acc", 31)
+    rolled = b.or_(rot, hi)
+    b.xor(rolled, mix, dest="acc")
+    b.addiu("blk", 1, dest="blk")
+    t2 = b.sltu("blk", "nblocks")
+    b.bne(t2, "zero", "block_loop", "finish")
+
+    b.label("finish")
+    b.ret("acc")
+
+    program = Program("blowfish", data=data)
+    program.add_function(b.finish())
+    args = (blocks, count, p_base) + tuple(s_bases)
+    return program, args
+
+
+def reference(count=BLOCK_COUNT):
+    """Bit-exact mirror; returns the ciphertext checksum."""
+    p = p_array()
+    s = s_boxes()
+    acc = 0
+    for xl, xr in input_blocks(count):
+        for i in range(ROUNDS):
+            xl ^= p[i]
+            f = ((s[0][xl >> 24] + s[1][(xl >> 16) & 0xFF]) & _MASK)
+            f = (f ^ s[2][(xl >> 8) & 0xFF])
+            f = (f + s[3][xl & 0xFF]) & _MASK
+            xr ^= f
+            xl, xr = xr, xl
+        xl, xr = xr, xl
+        xr ^= p[16]
+        xl ^= p[17]
+        mix = xl ^ xr
+        acc = (((acc << 1) | (acc >> 31)) ^ mix) & _MASK
+    return acc

@@ -1,0 +1,82 @@
+"""CRC32 workload (MiBench telecomm/CRC32 analogue).
+
+Reflected CRC-32 (polynomial 0xEDB88320) computed bit-serially over a
+message buffer — the classic hot loop: eight data-dependent
+shift/mask/xor steps per byte.  The inner 8-bit loop has a constant
+bound, so the -O3 unroller flattens it into one long straight-line
+chain, exactly the shape ISE exploration thrives on.
+
+The interpreter result is checked against :func:`binascii.crc32` in the
+test suite (same polynomial, init and final inversion).
+"""
+
+import binascii
+
+from ..ir.builder import FunctionBuilder
+from ..ir.program import DataSegment, Program
+
+#: Message length in bytes (64 keeps profiling fast but hot).
+MESSAGE_LENGTH = 64
+
+
+def message_bytes(length=MESSAGE_LENGTH):
+    """Deterministic pseudo-random message (xorshift-ish)."""
+    state = 0x12345678
+    out = []
+    for __ in range(length):
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        out.append((state >> 16) & 0xFF)
+    return bytes(out)
+
+
+def build(length=MESSAGE_LENGTH):
+    """Build the CRC32 program; entry ``crc32(buf, len)`` returns the CRC."""
+    data = DataSegment()
+    buf = data.place_bytes("message", message_bytes(length))
+
+    b = FunctionBuilder("crc32", params=("buf", "len"))
+    b.label("entry")
+    b.li(0, dest="zero")
+    b.li(0xFFFFFFFF, dest="crc")
+    b.li(0xEDB88320, dest="poly")
+    b.li(0, dest="i")
+    b.jump("byte_loop")
+
+    # Outer loop: one message byte per trip (variable length — not
+    # unrolled).
+    b.label("byte_loop")
+    addr = b.addu("buf", "i")
+    byte = b.lbu(addr)
+    b.xor("crc", byte, dest="crc")
+    b.li(0, dest="bit")
+    b.jump("bit_loop")
+
+    # Inner loop: 8 constant trips — the -O3 unroller's target.
+    b.label("bit_loop")
+    lsb = b.andi("crc", 1)
+    mask = b.subu("zero", lsb)          # 0 or 0xFFFFFFFF
+    masked = b.and_("poly", mask)
+    shifted = b.srl("crc", 1)
+    b.xor(shifted, masked, dest="crc")
+    b.addiu("bit", 1, dest="bit")
+    t = b.slti("bit", 8)
+    b.bne(t, "zero", "bit_loop", "byte_latch")
+
+    b.label("byte_latch")
+    b.addiu("i", 1, dest="i")
+    t2 = b.sltu("i", "len")
+    b.bne(t2, "zero", "byte_loop", "finish")
+
+    b.label("finish")
+    result = b.nor("crc", "crc")        # final inversion (~crc)
+    b.ret(result)
+
+    program = Program("crc32", data=data)
+    program.add_function(b.finish())
+    args = (buf, length)
+    return program, args
+
+
+def reference(length=MESSAGE_LENGTH):
+    """Expected CRC value for the default message."""
+    return binascii.crc32(message_bytes(length)) & 0xFFFFFFFF

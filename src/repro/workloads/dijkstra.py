@@ -1,0 +1,182 @@
+"""Dijkstra workload (MiBench network/dijkstra analogue).
+
+Single-source shortest paths over a dense adjacency matrix with the
+classic O(N²) algorithm: an outer loop extracting the closest
+unvisited node (linear scan) and an inner relaxation loop.  Branchy,
+memory-bound, small basic blocks — the *hardest* workload for ISE
+exploration, which is exactly the role it plays in the paper's mix.
+
+:func:`reference` runs the same algorithm in Python.
+"""
+
+from ..ir.builder import FunctionBuilder
+from ..ir.program import DataSegment, Program
+
+_MASK = 0xFFFFFFFF
+
+NUM_NODES = 12
+INFINITY = 0x3FFFFFFF
+
+
+def adjacency(n=NUM_NODES):
+    """Deterministic weighted digraph (about 40% density)."""
+    state = 0xD1185712
+    matrix = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            state = (state * 1103515245 + 12345) & _MASK
+            if i == j:
+                row.append(0)
+            elif (state >> 16) % 10 < 4:
+                row.append((state >> 8) % 30 + 1)
+            else:
+                row.append(INFINITY)
+        matrix.append(row)
+    return matrix
+
+
+def build(n=NUM_NODES, source=0):
+    """Build the shortest-path program; returns ``(Program, args)``."""
+    data = DataSegment()
+    flat = [w for row in adjacency(n) for w in row]
+    adj = data.place_words("adj", flat)
+    dist = data.reserve_words("dist", n)
+    visited = data.reserve_words("visited", n)
+
+    b = FunctionBuilder(
+        "dijkstra", params=("adj", "dist", "visited", "n", "source"))
+    b.label("entry")
+    b.li(0, dest="zero")
+    b.li(INFINITY, dest="inf")
+    b.li(0, dest="i")
+    b.jump("init_loop")
+
+    b.label("init_loop")
+    off = b.sll("i", 2)
+    b.sw("inf", b.addu("dist", off))
+    b.sw("zero", b.addu("visited", off))
+    b.addiu("i", 1, dest="i")
+    t = b.sltu("i", "n")
+    b.bne(t, "zero", "init_loop", "set_source")
+
+    b.label("set_source")
+    soff = b.sll("source", 2)
+    b.sw("zero", b.addu("dist", soff))
+    b.li(0, dest="iter")
+    b.jump("outer_loop")
+
+    # -- outer: pick closest unvisited node --
+    b.label("outer_loop")
+    b.li(-1, dest="best")
+    b.move("inf", dest="bestd")
+    b.li(0, dest="j")
+    b.jump("scan_loop")
+
+    b.label("scan_loop")
+    joff = b.sll("j", 2)
+    vis = b.lw(b.addu("visited", joff))
+    b.bne(vis, "zero", "scan_latch", "scan_check")
+
+    b.label("scan_check")
+    dj = b.lw(b.addu("dist", b.sll("j", 2)))
+    t1 = b.sltu(dj, "bestd")
+    b.bne(t1, "zero", "scan_take", "scan_latch")
+
+    b.label("scan_take")
+    b.move("j", dest="best")
+    b.lw(b.addu("dist", b.sll("j", 2)), dest="bestd")
+    b.jump("scan_latch")
+
+    b.label("scan_latch")
+    b.addiu("j", 1, dest="j")
+    t2 = b.sltu("j", "n")
+    b.bne(t2, "zero", "scan_loop", "check_best")
+
+    b.label("check_best")
+    b.bltz("best", "finish_prep", "mark")
+
+    b.label("mark")
+    boff = b.sll("best", 2)
+    b.li(1, dest="one")
+    b.sw("one", b.addu("visited", boff))
+    # row base of node `best` in the adjacency matrix
+    rowoff = b.mult("best", b.li(n * 4))
+    b.addu("adj", rowoff, dest="rowbase")
+    b.li(0, dest="k")
+    b.jump("relax_loop")
+
+    # -- inner: relax edges out of `best` --
+    b.label("relax_loop")
+    koff = b.sll("k", 2)
+    w = b.lw(b.addu("rowbase", koff))
+    t3 = b.sltu(w, "inf")
+    b.bne(t3, "zero", "relax_try", "relax_latch")
+
+    b.label("relax_try")
+    cand = b.addu("bestd", w)
+    dk = b.lw(b.addu("dist", b.sll("k", 2)))
+    t4 = b.sltu(cand, dk)
+    b.bne(t4, "zero", "relax_store", "relax_latch")
+
+    b.label("relax_store")
+    b.sw(cand, b.addu("dist", b.sll("k", 2)))
+    b.jump("relax_latch")
+
+    b.label("relax_latch")
+    b.addiu("k", 1, dest="k")
+    t5 = b.sltu("k", "n")
+    b.bne(t5, "zero", "relax_loop", "outer_latch")
+
+    b.label("outer_latch")
+    b.addiu("iter", 1, dest="iter")
+    t6 = b.sltu("iter", "n")
+    b.bne(t6, "zero", "outer_loop", "finish_prep")
+
+    # -- fold distances into a checksum --
+    b.label("finish_prep")
+    b.li(0, dest="acc")
+    b.li(0, dest="ci")
+    b.jump("ck_loop")
+
+    b.label("ck_loop")
+    coff = b.sll("ci", 2)
+    dv = b.lw(b.addu("dist", coff))
+    rot = b.sll("acc", 3)
+    hi = b.srl("acc", 29)
+    rolled = b.or_(rot, hi)
+    b.xor(rolled, dv, dest="acc")
+    b.addiu("ci", 1, dest="ci")
+    t7 = b.sltu("ci", "n")
+    b.bne(t7, "zero", "ck_loop", "finish")
+
+    b.label("finish")
+    b.ret("acc")
+
+    program = Program("dijkstra", data=data)
+    program.add_function(b.finish())
+    return program, (adj, dist, visited, n, source)
+
+
+def reference(n=NUM_NODES, source=0):
+    """Expected distance checksum for the default graph."""
+    matrix = adjacency(n)
+    dist = [INFINITY] * n
+    visited = [False] * n
+    dist[source] = 0
+    for __ in range(n):
+        best, bestd = -1, INFINITY
+        for j in range(n):
+            if not visited[j] and dist[j] < bestd:
+                best, bestd = j, dist[j]
+        if best < 0:
+            break
+        visited[best] = True
+        for k in range(n):
+            w = matrix[best][k]
+            if w < INFINITY and bestd + w < dist[k]:
+                dist[k] = bestd + w
+    acc = 0
+    for dv in dist:
+        acc = (((acc << 3) | (acc >> 29)) ^ dv) & _MASK
+    return acc

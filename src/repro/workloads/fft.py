@@ -1,0 +1,235 @@
+"""FFT workload (MiBench telecomm/FFT analogue).
+
+Iterative radix-2 decimation-in-time FFT on N=16 points with Q14
+fixed-point twiddle factors.  The butterfly loop is written as one
+self-loop over the N/2 butterflies of each stage (indices derived
+arithmetically from the butterfly counter), so its constant bound lets
+the -O3 unroller produce the large straight-line blocks the paper's
+evaluation sees from gcc.
+
+The Python :func:`reference` mirrors the integer arithmetic
+bit-exactly (same 32-bit wrapping, same arithmetic shifts), so the test
+suite can compare checksums.
+"""
+
+import math
+
+from ..ir.builder import FunctionBuilder
+from ..ir.program import DataSegment, Program
+
+N = 16
+LOG2N = 4
+Q = 14
+
+_MASK = 0xFFFFFFFF
+
+
+def _signed(v):
+    v &= _MASK
+    return v - 0x100000000 if v & 0x80000000 else v
+
+
+def twiddles(n=N):
+    """Q14 twiddle factors W_n^k = exp(-2πik/n), k < n/2."""
+    wr, wi = [], []
+    for k in range(n // 2):
+        angle = -2.0 * math.pi * k / n
+        wr.append(int(round(math.cos(angle) * (1 << Q))) & _MASK)
+        wi.append(int(round(math.sin(angle) * (1 << Q))) & _MASK)
+    return wr, wi
+
+
+def bit_reverse_table(n=N, bits=LOG2N):
+    """Index-bit-reversal permutation table."""
+    table = []
+    for i in range(n):
+        rev = 0
+        for b in range(bits):
+            if i & (1 << b):
+                rev |= 1 << (bits - 1 - b)
+        table.append(rev)
+    return table
+
+
+def input_samples(n=N):
+    """Deterministic Q14-scale real input signal."""
+    state = 0xFEED1234
+    samples = []
+    for __ in range(n):
+        state = (state * 1664525 + 1013904223) & _MASK
+        samples.append((state >> 8) % 4001 - 2000)
+    return samples
+
+
+def build(n=N):
+    """Build the FFT program; returns ``(Program, args)``."""
+    assert n == N, "IR kernel is generated for N=16"
+    data = DataSegment()
+    re0 = data.place_words("re", [s & _MASK for s in input_samples(n)])
+    im0 = data.place_words("im", [0] * n)
+    wr, wi = twiddles(n)
+    wr_base = data.place_words("wr", wr)
+    wi_base = data.place_words("wi", wi)
+    rev_base = data.place_words("rev", bit_reverse_table(n))
+
+    b = FunctionBuilder("fft", params=("re", "im", "wr", "wi", "rev"))
+    b.label("entry")
+    b.li(0, dest="zero")
+    b.li(0, dest="i")
+    b.jump("rev_loop")
+
+    # --- bit-reversal permutation ---
+    b.label("rev_loop")
+    ioff = b.sll("i", 2)
+    raddr = b.addu("rev", ioff)
+    b.lw(raddr, dest="j")
+    t = b.sltu("i", "j")
+    b.bne(t, "zero", "do_swap", "rev_latch")
+
+    b.label("do_swap")
+    joff = b.sll("j", 2)
+    ra = b.addu("re", ioff2b := b.sll("i", 2))
+    rb = b.addu("re", joff)
+    va = b.lw(ra)
+    vb = b.lw(rb)
+    b.sw(vb, ra)
+    b.sw(va, rb)
+    ia = b.addu("im", ioff2b)
+    ib = b.addu("im", joff)
+    wa = b.lw(ia)
+    wb = b.lw(ib)
+    b.sw(wb, ia)
+    b.sw(wa, ib)
+    b.jump("rev_latch")
+
+    b.label("rev_latch")
+    b.addiu("i", 1, dest="i")
+    t2 = b.slti("i", n)
+    b.bne(t2, "zero", "rev_loop", "stage_init")
+
+    # --- butterfly stages ---
+    b.label("stage_init")
+    b.li(1, dest="stage")        # log2(m), m = group size
+    b.jump("stage_head")
+
+    b.label("stage_head")
+    b.li(1, dest="one")
+    b.sllv("one", "stage", dest="m")
+    b.srl("m", 1, dest="half")
+    b.addiu("stage", -1, dest="logh")
+    b.addiu("half", -1, dest="maskh")
+    b.li(LOG2N, dest="logn")
+    b.subu("logn", "stage", dest="logstep")
+    b.li(0, dest="idx")
+    b.jump("bfly")
+
+    # One self-loop over all N/2 butterflies of the stage (constant
+    # bound -> unrollable).
+    b.label("bfly")
+    j = b.and_("idx", "maskh")
+    group = b.srlv("idx", "logh")
+    k0 = b.sllv(group, "stage")
+    i1 = b.addu(k0, j)
+    i2 = b.addu(i1, "half")
+    k = b.sllv(j, "logstep")
+    koff = b.sll(k, 2)
+    wr_k = b.lw(b.addu("wr", koff))
+    wi_k = b.lw(b.addu("wi", koff))
+    off1 = b.sll(i1, 2)
+    off2 = b.sll(i2, 2)
+    re1a = b.addu("re", off1)
+    re2a = b.addu("re", off2)
+    im1a = b.addu("im", off1)
+    im2a = b.addu("im", off2)
+    re2 = b.lw(re2a)
+    im2 = b.lw(im2a)
+    p1 = b.mult(wr_k, re2)
+    p2 = b.mult(wi_k, im2)
+    p3 = b.mult(wr_k, im2)
+    p4 = b.mult(wi_k, re2)
+    tre_w = b.subu(p1, p2)
+    tim_w = b.addu(p3, p4)
+    tre = b.sra(tre_w, Q)
+    tim = b.sra(tim_w, Q)
+    ure = b.lw(re1a)
+    uim = b.lw(im1a)
+    nre1 = b.addu(ure, tre)
+    nim1 = b.addu(uim, tim)
+    nre2 = b.subu(ure, tre)
+    nim2 = b.subu(uim, tim)
+    b.sw(nre1, re1a)
+    b.sw(nim1, im1a)
+    b.sw(nre2, re2a)
+    b.sw(nim2, im2a)
+    b.addiu("idx", 1, dest="idx")
+    t3 = b.slti("idx", n // 2)
+    b.bne(t3, "zero", "bfly", "stage_latch")
+
+    b.label("stage_latch")
+    b.addiu("stage", 1, dest="stage")
+    t4 = b.slti("stage", LOG2N + 1)
+    b.bne(t4, "zero", "stage_head", "checksum")
+
+    # --- fold the spectrum into one word ---
+    b.label("checksum")
+    b.li(0, dest="acc")
+    b.li(0, dest="ci")
+    b.jump("ck_loop")
+
+    b.label("ck_loop")
+    coff = b.sll("ci", 2)
+    cre = b.lw(b.addu("re", coff))
+    cim = b.lw(b.addu("im", coff))
+    mix = b.xor(cre, cim)
+    rot = b.sll("acc", 1)
+    hi = b.srl("acc", 31)
+    rolled = b.or_(rot, hi)
+    b.xor(rolled, mix, dest="acc")
+    b.addiu("ci", 1, dest="ci")
+    t5 = b.slti("ci", n)
+    b.bne(t5, "zero", "ck_loop", "finish")
+
+    b.label("finish")
+    b.ret("acc")
+
+    program = Program("fft", data=data)
+    program.add_function(b.finish())
+    return program, (re0, im0, wr_base, wi_base, rev_base)
+
+
+def reference(n=N):
+    """Bit-exact mirror of the IR kernel; returns the checksum."""
+    re = [s & _MASK for s in input_samples(n)]
+    im = [0] * n
+    wr, wi = twiddles(n)
+    rev = bit_reverse_table(n)
+    for i in range(n):
+        j = rev[i]
+        if i < j:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+    for stage in range(1, LOG2N + 1):
+        half = 1 << (stage - 1)
+        logstep = LOG2N - stage
+        for idx in range(n // 2):
+            j = idx & (half - 1)
+            group = idx >> (stage - 1)
+            i1 = ((group << stage) + j) & _MASK
+            i2 = i1 + half
+            k = j << logstep
+            p1 = (_signed(wr[k]) * _signed(re[i2])) & _MASK
+            p2 = (_signed(wi[k]) * _signed(im[i2])) & _MASK
+            p3 = (_signed(wr[k]) * _signed(im[i2])) & _MASK
+            p4 = (_signed(wi[k]) * _signed(re[i2])) & _MASK
+            tre = (_signed((p1 - p2) & _MASK) >> Q) & _MASK
+            tim = (_signed((p3 + p4) & _MASK) >> Q) & _MASK
+            ure, uim = re[i1], im[i1]
+            re[i1] = (ure + tre) & _MASK
+            im[i1] = (uim + tim) & _MASK
+            re[i2] = (ure - tre) & _MASK
+            im[i2] = (uim - tim) & _MASK
+    acc = 0
+    for i in range(n):
+        mix = re[i] ^ im[i]
+        acc = (((acc << 1) | (acc >> 31)) ^ mix) & _MASK
+    return acc

@@ -1,0 +1,239 @@
+"""JPEG forward-DCT workload (MiBench consumer/jpeg analogue).
+
+The hot kernel of JPEG compression is the 8×8 forward DCT; this module
+implements the libjpeg ``jdct_islow``-style integer
+Loeffler-Ligtenberg-Moshovitz transform: a row pass and a column pass,
+each an 8-iteration constant-bound loop whose body is a ~60-operation
+straight-line butterfly network with fixed-point constant multiplies —
+the largest basic blocks in the suite once -O3 unrolls them.
+
+:func:`reference` mirrors the integer arithmetic bit-exactly.
+"""
+
+from ..ir.builder import FunctionBuilder
+from ..ir.program import DataSegment, Program
+
+_MASK = 0xFFFFFFFF
+
+# libjpeg scaled constants (13-bit fixed point).
+CONST_BITS = 13
+PASS1_BITS = 2
+FIX_0_298631336 = 2446
+FIX_0_390180644 = 3196
+FIX_0_541196100 = 4433
+FIX_0_765366865 = 6270
+FIX_0_899976223 = 7373
+FIX_1_175875602 = 9633
+FIX_1_501321110 = 12299
+FIX_1_847759065 = 15137
+FIX_1_961570560 = 16069
+FIX_2_053119869 = 16819
+FIX_2_562915447 = 20995
+FIX_3_072711026 = 25172
+
+
+def input_block():
+    """A deterministic 8×8 sample block (centred around zero)."""
+    state = 0x06021986
+    block = []
+    for __ in range(64):
+        state = (state * 69069 + 1) & _MASK
+        block.append(((state >> 16) & 0xFF) - 128)
+    return block
+
+
+def _signed(v):
+    v &= _MASK
+    return v - 0x100000000 if v & 0x80000000 else v
+
+
+def build():
+    """Build the DCT program; returns ``(Program, args)``."""
+    data = DataSegment()
+    block = data.place_words("block", [v & _MASK for v in input_block()])
+
+    b = FunctionBuilder("fdct", params=("block",))
+    b.label("entry")
+    b.li(0, dest="zero")
+    b.li(0, dest="row")
+    b.jump("row_loop")
+
+    _emit_pass(b, loop="row_loop", latch_target="col_init",
+               counter="row", stride_outer=32, stride_inner=4,
+               descale=CONST_BITS - PASS1_BITS, add_pass1=True)
+
+    b.label("col_init")
+    b.li(0, dest="col")
+    b.jump("col_loop")
+
+    _emit_pass(b, loop="col_loop", latch_target="checksum",
+               counter="col", stride_outer=4, stride_inner=32,
+               descale=CONST_BITS + PASS1_BITS, add_pass1=False)
+
+    b.label("checksum")
+    b.li(0, dest="acc")
+    b.li(0, dest="ci")
+    b.jump("ck_loop")
+    b.label("ck_loop")
+    coff = b.sll("ci", 2)
+    v = b.lw(b.addu("block", coff))
+    rot = b.sll("acc", 1)
+    hi = b.srl("acc", 31)
+    rolled = b.or_(rot, hi)
+    b.xor(rolled, v, dest="acc")
+    b.addiu("ci", 1, dest="ci")
+    t = b.slti("ci", 64)
+    b.bne(t, "zero", "ck_loop", "finish")
+    b.label("finish")
+    b.ret("acc")
+
+    program = Program("jpeg_fdct", data=data)
+    program.add_function(b.finish())
+    return program, (block,)
+
+
+def _emit_pass(b, loop, latch_target, counter, stride_outer, stride_inner,
+               descale, add_pass1):
+    """One DCT pass: an 8-trip loop whose body transforms one vector."""
+    b.label(loop)
+    base_off = b.mult(counter, b.li(stride_outer))
+    base = b.addu("block", base_off)
+    addr = [b.addu(base, b.li(i * stride_inner)) for i in range(8)]
+    d = [b.lw(addr[i]) for i in range(8)]
+
+    tmp0 = b.addu(d[0], d[7])
+    tmp7 = b.subu(d[0], d[7])
+    tmp1 = b.addu(d[1], d[6])
+    tmp6 = b.subu(d[1], d[6])
+    tmp2 = b.addu(d[2], d[5])
+    tmp5 = b.subu(d[2], d[5])
+    tmp3 = b.addu(d[3], d[4])
+    tmp4 = b.subu(d[3], d[4])
+
+    tmp10 = b.addu(tmp0, tmp3)
+    tmp13 = b.subu(tmp0, tmp3)
+    tmp11 = b.addu(tmp1, tmp2)
+    tmp12 = b.subu(tmp1, tmp2)
+
+    if add_pass1:
+        s04 = b.addu(tmp10, tmp11)
+        out0 = b.sll(s04, PASS1_BITS)
+        d04 = b.subu(tmp10, tmp11)
+        out4 = b.sll(d04, PASS1_BITS)
+    else:
+        s04 = b.addu(tmp10, tmp11)
+        out0 = _descale(b, s04, PASS1_BITS)
+        d04 = b.subu(tmp10, tmp11)
+        out4 = _descale(b, d04, PASS1_BITS)
+
+    z1s = b.addu(tmp12, tmp13)
+    z1 = b.mult(z1s, b.li(FIX_0_541196100))
+    m13 = b.mult(tmp13, b.li(FIX_0_765366865))
+    m12 = b.mult(tmp12, b.li(FIX_1_847759065))
+    out2w = b.addu(z1, m13)
+    out6w = b.subu(z1, m12)
+    out2 = _descale(b, out2w, descale)
+    out6 = _descale(b, out6w, descale)
+
+    z1o = b.addu(tmp4, tmp7)
+    z2o = b.addu(tmp5, tmp6)
+    z3o = b.addu(tmp4, tmp6)
+    z4o = b.addu(tmp5, tmp7)
+    z34 = b.addu(z3o, z4o)
+    z5 = b.mult(z34, b.li(FIX_1_175875602))
+
+    t4 = b.mult(tmp4, b.li(FIX_0_298631336))
+    t5 = b.mult(tmp5, b.li(FIX_2_053119869))
+    t6 = b.mult(tmp6, b.li(FIX_3_072711026))
+    t7 = b.mult(tmp7, b.li(FIX_1_501321110))
+    z1m = b.mult(z1o, b.li(FIX_0_899976223))
+    z1n = b.subu("zero", z1m)
+    z2m = b.mult(z2o, b.li(FIX_2_562915447))
+    z2n = b.subu("zero", z2m)
+    z3m = b.mult(z3o, b.li(FIX_1_961570560))
+    z3n0 = b.subu("zero", z3m)
+    z4m = b.mult(z4o, b.li(FIX_0_390180644))
+    z4n0 = b.subu("zero", z4m)
+    z3n = b.addu(z3n0, z5)
+    z4n = b.addu(z4n0, z5)
+
+    o7a = b.addu(t4, z1n)
+    o7w = b.addu(o7a, z3n)
+    o5a = b.addu(t5, z2n)
+    o5w = b.addu(o5a, z4n)
+    o3a = b.addu(t6, z2n)
+    o3w = b.addu(o3a, z3n)
+    o1a = b.addu(t7, z1n)
+    o1w = b.addu(o1a, z4n)
+    out7 = _descale(b, o7w, descale)
+    out5 = _descale(b, o5w, descale)
+    out3 = _descale(b, o3w, descale)
+    out1 = _descale(b, o1w, descale)
+
+    outs = [out0, out1, out2, out3, out4, out5, out6, out7]
+    for i in range(8):
+        b.sw(outs[i], addr[i])
+
+    b.addiu(counter, 1, dest=counter)
+    t = b.slti(counter, 8)
+    b.bne(t, "zero", loop, latch_target)
+
+
+def _descale(b, reg, bits):
+    rounded = b.addiu(reg, 1 << (bits - 1))
+    return b.sra(rounded, bits)
+
+
+def reference():
+    """Bit-exact mirror; returns the coefficient checksum."""
+    block = [v & _MASK for v in input_block()]
+
+    def pass_(stride_outer, stride_inner, descale, add_pass1):
+        for c in range(8):
+            base = c * stride_outer // 4
+            idx = [base + i * stride_inner // 4 for i in range(8)]
+            d = [_signed(block[i]) for i in idx]
+            tmp0, tmp7 = d[0] + d[7], d[0] - d[7]
+            tmp1, tmp6 = d[1] + d[6], d[1] - d[6]
+            tmp2, tmp5 = d[2] + d[5], d[2] - d[5]
+            tmp3, tmp4 = d[3] + d[4], d[3] - d[4]
+            tmp10, tmp13 = tmp0 + tmp3, tmp0 - tmp3
+            tmp11, tmp12 = tmp1 + tmp2, tmp1 - tmp2
+            if add_pass1:
+                out0 = (tmp10 + tmp11) << PASS1_BITS
+                out4 = (tmp10 - tmp11) << PASS1_BITS
+            else:
+                out0 = _ds(tmp10 + tmp11, PASS1_BITS)
+                out4 = _ds(tmp10 - tmp11, PASS1_BITS)
+            z1 = (tmp12 + tmp13) * FIX_0_541196100
+            out2 = _ds(z1 + tmp13 * FIX_0_765366865, descale)
+            out6 = _ds(z1 - tmp12 * FIX_1_847759065, descale)
+            z1o, z2o = tmp4 + tmp7, tmp5 + tmp6
+            z3o, z4o = tmp4 + tmp6, tmp5 + tmp7
+            z5 = (z3o + z4o) * FIX_1_175875602
+            t4 = tmp4 * FIX_0_298631336
+            t5 = tmp5 * FIX_2_053119869
+            t6 = tmp6 * FIX_3_072711026
+            t7 = tmp7 * FIX_1_501321110
+            z1n = -(z1o * FIX_0_899976223)
+            z2n = -(z2o * FIX_2_562915447)
+            z3n = -(z3o * FIX_1_961570560) + z5
+            z4n = -(z4o * FIX_0_390180644) + z5
+            out7 = _ds(t4 + z1n + z3n, descale)
+            out5 = _ds(t5 + z2n + z4n, descale)
+            out3 = _ds(t6 + z2n + z3n, descale)
+            out1 = _ds(t7 + z1n + z4n, descale)
+            outs = [out0, out1, out2, out3, out4, out5, out6, out7]
+            for i in range(8):
+                block[idx[i]] = outs[i] & _MASK
+
+    def _ds(value, bits):
+        value = _signed(value & _MASK)
+        return (value + (1 << (bits - 1))) >> bits
+
+    pass_(32, 4, CONST_BITS - PASS1_BITS, True)
+    pass_(4, 32, CONST_BITS + PASS1_BITS, False)
+    acc = 0
+    for v in block:
+        acc = (((acc << 1) | (acc >> 31)) ^ v) & _MASK
+    return acc

@@ -1,0 +1,83 @@
+"""Workload registry — the seven benchmarks of §5.1.
+
+Each entry wraps a builder module exposing ``build() -> (Program,
+args)`` and ``reference() -> int``; :func:`get_workload` returns a
+:class:`Workload` handle and :func:`all_workloads` the full suite in
+the paper's order (CRC32, FFT, adpcm, bitcount, blowfish, jpeg,
+dijkstra).
+"""
+
+from ..errors import ReproError
+from . import adpcm, bitcount, blowfish, crc32, dijkstra, fft, jpeg, sha1
+
+
+class Workload:
+    """A named benchmark: program builder + inputs + expected result."""
+
+    def __init__(self, name, module, description):
+        self.name = name
+        self._module = module
+        self.description = description
+
+    def build(self):
+        """Fresh ``(Program, args)`` pair."""
+        return self._module.build()
+
+    def reference(self):
+        """Expected 32-bit result of running the program."""
+        return self._module.reference() & 0xFFFFFFFF
+
+    def __repr__(self):
+        return "Workload({!r})".format(self.name)
+
+
+_REGISTRY = [
+    Workload("crc32", crc32,
+             "bit-serial reflected CRC-32 over a 64-byte message"),
+    Workload("fft", fft,
+             "radix-2 fixed-point FFT, 16 points, Q14 twiddles"),
+    Workload("adpcm", adpcm,
+             "IMA ADPCM encoder over 64 samples"),
+    Workload("bitcount", bitcount,
+             "SWAR + table + Kernighan popcounts over 48 words"),
+    Workload("blowfish", blowfish,
+             "16-round Blowfish Feistel core over 8 blocks"),
+    Workload("jpeg", jpeg,
+             "libjpeg-style integer 8x8 forward DCT"),
+    Workload("dijkstra", dijkstra,
+             "O(N^2) Dijkstra over a 12-node dense digraph"),
+]
+
+#: Extra kernels beyond the paper's seven (extension benches only, so
+#: the chapter-5 reproductions keep the paper's workload mix).
+_EXTRA = [
+    Workload("sha1", sha1,
+             "SHA-1 single-block compression (80 rounds)"),
+]
+
+_BY_NAME = {w.name: w for w in _REGISTRY + _EXTRA}
+
+
+def all_workloads():
+    """The seven benchmarks, in the paper's order."""
+    return list(_REGISTRY)
+
+
+def extra_workloads():
+    """Kernels beyond the paper's suite (used by extension benches)."""
+    return list(_EXTRA)
+
+
+def workload_names():
+    """Names of the seven paper benchmarks, in order."""
+    return [w.name for w in _REGISTRY]
+
+
+def get_workload(name):
+    """Look up any workload (paper suite or extras) by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ReproError(
+            "unknown workload {!r}; choose from {}".format(
+                name, sorted(_BY_NAME))) from None

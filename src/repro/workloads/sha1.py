@@ -1,0 +1,177 @@
+"""SHA-1 workload (extra, beyond the paper's seven).
+
+MiBench's security suite also ships SHA; the paper evaluates on seven
+kernels, so this one is registered under the *extra* workloads and used
+by the extension benches only.  Rotate-xor-add chains make SHA-1 a
+classic ISE target (rotations cost three PISA instructions each).
+
+One 512-bit block is compressed: the message schedule loop
+(64 constant trips) and four 20-round phase loops are all unrollable.
+The Python :func:`reference` mirrors the IR and is itself cross-checked
+against :mod:`hashlib` in the test suite.
+"""
+
+import hashlib
+import struct
+
+from ..ir.builder import FunctionBuilder
+from ..ir.program import DataSegment, Program
+
+_MASK = 0xFFFFFFFF
+
+MESSAGE = b"The quick brown fox jumps over the lazy dog..."
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+
+def padded_block(message=MESSAGE):
+    """Pad ``message`` (< 56 bytes) to one 64-byte SHA-1 block."""
+    assert len(message) < 56, "single-block kernel"
+    block = message + b"\x80" + b"\x00" * (55 - len(message))
+    block += struct.pack(">Q", 8 * len(message))
+    return block
+
+
+def block_words(message=MESSAGE):
+    """The block as sixteen big-endian 32-bit words."""
+    return list(struct.unpack(">16L", padded_block(message)))
+
+
+def build(message=MESSAGE):
+    """Build the compressor program; returns ``(Program, args)``."""
+    data = DataSegment()
+    w_base = data.place_words("W", block_words(message) + [0] * 64)
+    h_base = data.place_words("H", list(_H0))
+
+    b = FunctionBuilder("sha1_compress", params=("w", "h"))
+    b.label("entry")
+    b.li(0, dest="zero")
+    b.li(16, dest="t")
+    b.jump("sched_loop")
+
+    # -- message schedule: W[t] = rol1(W[t-3]^W[t-8]^W[t-14]^W[t-16]) --
+    b.label("sched_loop")
+    toff = b.sll("t", 2)
+    base_t = b.addu("w", toff)
+    w3 = b.lw(base_t, -3 * 4)
+    w8 = b.lw(base_t, -8 * 4)
+    w14 = b.lw(base_t, -14 * 4)
+    w16 = b.lw(base_t, -16 * 4)
+    x1 = b.xor(w3, w8)
+    x2 = b.xor(x1, w14)
+    x3 = b.xor(x2, w16)
+    hi = b.sll(x3, 1)
+    lo = b.srl(x3, 31)
+    b.sw(b.or_(hi, lo), base_t)
+    b.addiu("t", 1, dest="t")
+    tc = b.slti("t", 80)
+    b.bne(tc, "zero", "sched_loop", "init_state")
+
+    b.label("init_state")
+    b.lw("h", 0, dest="a")
+    b.lw("h", 4, dest="bb")
+    b.lw("h", 8, dest="c")
+    b.lw("h", 12, dest="d")
+    b.lw("h", 16, dest="e")
+    b.li(0, dest="r")
+    b.jump("phase0")
+
+    def round_body(phase, label, next_label):
+        b.label(label)
+        roff = b.sll("r", 2)
+        wt = b.lw(b.addu("w", roff))
+        if phase == 0:
+            # f = (b & c) | (~b & d)
+            bc = b.and_("bb", "c")
+            nb = b.nor("bb", "bb")
+            nbd = b.and_(nb, "d")
+            f = b.or_(bc, nbd)
+        elif phase == 2:
+            # f = (b & c) | (b & d) | (c & d)
+            bc = b.and_("bb", "c")
+            bd = b.and_("bb", "d")
+            cd = b.and_("c", "d")
+            f = b.or_(b.or_(bc, bd), cd)
+        else:
+            # f = b ^ c ^ d
+            f = b.xor(b.xor("bb", "c"), "d")
+        k = b.li(_K[phase])
+        rol5h = b.sll("a", 5)
+        rol5l = b.srl("a", 27)
+        rol5 = b.or_(rol5h, rol5l)
+        s1 = b.addu(rol5, f)
+        s2 = b.addu(s1, "e")
+        s3 = b.addu(s2, k)
+        temp = b.addu(s3, wt)
+        b.move("d", dest="e")
+        b.move("c", dest="d")
+        r30h = b.sll("bb", 30)
+        r30l = b.srl("bb", 2)
+        b.or_(r30h, r30l, dest="c")
+        b.move("a", dest="bb")
+        b.move(temp, dest="a")
+        b.addiu("r", 1, dest="r")
+        bound = 20 * (phase + 1)
+        tcond = b.slti("r", bound)
+        b.bne(tcond, "zero", label, next_label)
+
+    round_body(0, "phase0", "phase1")
+    round_body(1, "phase1", "phase2")
+    round_body(2, "phase2", "phase3")
+    round_body(3, "phase3", "finalize")
+
+    b.label("finalize")
+    for index, reg in enumerate(("a", "bb", "c", "d", "e")):
+        old = b.lw("h", 4 * index)
+        b.sw(b.addu(old, reg), "h", 4 * index)
+    acc = None
+    for index in range(5):
+        val = b.lw("h", 4 * index)
+        acc = val if acc is None else b.xor(acc, val)
+    b.ret(acc)
+
+    program = Program("sha1", data=data)
+    program.add_function(b.finish())
+    return program, (w_base, h_base)
+
+
+def compress(message=MESSAGE):
+    """Python mirror: the five updated hash words."""
+    w = block_words(message) + [0] * 64
+    for t in range(16, 80):
+        x = w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]
+        w[t] = ((x << 1) | (x >> 31)) & _MASK
+    a, bb, c, d, e = _H0
+    for t in range(80):
+        phase = t // 20
+        if phase == 0:
+            f = (bb & c) | (~bb & d)
+        elif phase == 2:
+            f = (bb & c) | (bb & d) | (c & d)
+        else:
+            f = bb ^ c ^ d
+        temp = (((a << 5) | (a >> 27)) + f + e + _K[phase] + w[t]) & _MASK
+        e, d = d, c
+        c = ((bb << 30) | (bb >> 2)) & _MASK
+        bb, a = a, temp
+    return tuple((h + v) & _MASK
+                 for h, v in zip(_H0, (a, bb, c, d, e)))
+
+
+def reference(message=MESSAGE):
+    """Expected return value (xor of the five hash words)."""
+    result = 0
+    for word in compress(message):
+        result ^= word
+    return result & _MASK
+
+
+def hashlib_digest(message=MESSAGE):
+    """Independent ground truth for the mirror (test cross-check)."""
+    return hashlib.sha1(message).digest()
+
+
+def mirror_digest(message=MESSAGE):
+    """Digest produced by the Python mirror (big-endian)."""
+    return struct.pack(">5L", *compress(message))

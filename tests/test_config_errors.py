@@ -1,0 +1,92 @@
+"""Tests for configuration validation and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.config import (
+    DEFAULT_CONSTRAINTS,
+    DEFAULT_PARAMS,
+    ExplorationParams,
+    ISEConstraints,
+)
+
+
+class TestExplorationParams:
+    def test_paper_defaults(self):
+        p = DEFAULT_PARAMS
+        assert p.alpha == 0.25
+        assert (p.rho1, p.rho2, p.rho3, p.rho4, p.rho5) == (4, 2, 2, 2, 0.4)
+        assert p.beta_cp == 0.9
+        assert p.beta_size == 0.7
+        assert p.beta_io == 0.8
+        assert p.beta_convex == 0.4
+        assert p.p_end == 0.99
+        assert p.initial_merit_software == 100.0
+        assert p.initial_merit_hardware == 200.0
+        assert p.restarts == 5
+
+    @pytest.mark.parametrize("field,value", [
+        ("alpha", -0.1), ("alpha", 1.5),
+        ("lam", -1.0),
+        ("p_end", 0.0), ("p_end", 1.0),
+        ("rho1", -1.0), ("rho5", -0.1),
+        ("beta_cp", 0.0), ("beta_cp", 1.1),
+        ("beta_convex", -0.4),
+        ("max_iterations", 0), ("max_rounds", 0), ("restarts", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(errors.ConfigError):
+            ExplorationParams(**{field: value})
+
+    def test_with_replaces(self):
+        p = DEFAULT_PARAMS.with_(alpha=0.5)
+        assert p.alpha == 0.5
+        assert DEFAULT_PARAMS.alpha == 0.25
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMS.alpha = 0.9
+
+
+class TestISEConstraints:
+    def test_defaults(self):
+        c = DEFAULT_CONSTRAINTS
+        assert c.n_in == 4 and c.n_out == 2
+        assert c.max_ises is None and c.max_area is None
+        assert c.forbid_memory_ops
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_in=0), dict(n_out=0),
+        dict(max_ises=-1), dict(max_area=-5.0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(errors.ConfigError):
+            ISEConstraints(**kwargs)
+
+    def test_with_replaces(self):
+        c = DEFAULT_CONSTRAINTS.with_(max_area=100.0)
+        assert c.max_area == 100.0
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        leaves = [
+            errors.ISAError, errors.UnknownOpcodeError, errors.IRError,
+            errors.VerificationError, errors.InterpreterError,
+            errors.TrapError, errors.StepLimitExceeded,
+            errors.SchedulingError, errors.ExplorationError,
+            errors.ConvergenceError, errors.ConstraintError,
+            errors.ConfigError,
+        ]
+        for cls in leaves:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_specific_parents(self):
+        assert issubclass(errors.TrapError, errors.InterpreterError)
+        assert issubclass(errors.ConvergenceError, errors.ExplorationError)
+        assert issubclass(errors.UnknownOpcodeError, errors.ISAError)
+
+    def test_unknown_opcode_payload(self):
+        err = errors.UnknownOpcodeError("vmul")
+        assert err.name == "vmul"
+        assert "vmul" in str(err)

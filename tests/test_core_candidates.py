@@ -1,0 +1,169 @@
+"""Tests for ISECandidate, Make-Convex/legalisation and contraction."""
+
+import pytest
+
+from repro.config import ISEConstraints
+from repro.core.candidate import ISECandidate
+from repro.core.contract import contract_candidate
+from repro.core.make_convex import legalize_components, make_convex
+from repro.errors import ConstraintError
+from repro.graph import is_convex
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY, \
+    default_io_table
+
+from conftest import chain_dfg, dfg_from_block, diamond_dfg, wide_dfg
+
+
+def fastest_options(dfg, members):
+    return {uid: min(DEFAULT_DATABASE.hardware_options(dfg.op(uid).name),
+                     key=lambda o: o.delay_ns)
+            for uid in members}
+
+
+def make_candidate(dfg, members):
+    return ISECandidate(dfg, members, fastest_options(dfg, members),
+                        DEFAULT_TECHNOLOGY)
+
+
+class TestISECandidate:
+    def test_metrics(self):
+        dfg = chain_dfg(3)          # three addu, fast option 2.12 ns
+        candidate = make_candidate(dfg, {0, 1, 2})
+        assert candidate.size == 3
+        assert candidate.delay_ns == pytest.approx(3 * 2.12)
+        assert candidate.cycles == 1
+        assert candidate.area == pytest.approx(3 * 2075.35)
+        assert candidate.software_chain_cycles() == 3
+
+    def test_io_counts(self):
+        dfg = chain_dfg(3)
+        candidate = make_candidate(dfg, {0, 1, 2})
+        assert candidate.num_inputs() == 2       # a, b
+        assert candidate.num_outputs() == 1
+
+    def test_validate(self):
+        dfg = chain_dfg(3)
+        make_candidate(dfg, {0, 1, 2}).validate(ISEConstraints())
+        with pytest.raises(ConstraintError):
+            make_candidate(dfg, {0, 2}).validate(ISEConstraints())
+
+    def test_pattern_and_describe(self):
+        dfg = chain_dfg(2)
+        candidate = make_candidate(dfg, {0, 1})
+        assert candidate.pattern().number_of_nodes() == 2
+        assert "addu" in candidate.describe()
+
+    def test_equality(self):
+        dfg = chain_dfg(2)
+        assert make_candidate(dfg, {0, 1}) == make_candidate(dfg, {0, 1})
+
+
+class TestMakeConvex:
+    def test_convex_set_untouched(self):
+        dfg = chain_dfg(4)
+        pieces = make_convex(dfg, {1, 2})
+        assert pieces == [frozenset({1, 2})]
+
+    def test_gap_split(self):
+        dfg = chain_dfg(4)
+        pieces = make_convex(dfg, {0, 2})
+        assert sorted(sorted(p) for p in pieces) == [[0], [2]]
+
+    def test_reconvergent_split(self):
+        def body(b):
+            t = b.addu("a", "b")      # 0
+            u = b.xor(t, "c")         # 1  (outside witness)
+            v = b.or_(t, "d")         # 2
+            return b.and_(u, v)       # 3
+        dfg = dfg_from_block(body)
+        pieces = make_convex(dfg, {0, 3})
+        assert all(is_convex(dfg, p) for p in pieces)
+        assert all(len(p) == 1 for p in pieces)
+
+    def test_all_pieces_convex_on_diamond(self):
+        dfg = diamond_dfg()
+        pieces = make_convex(dfg, {0, 2, 7, 8})
+        assert all(is_convex(dfg, p) for p in pieces)
+        covered = set().union(*pieces)
+        assert covered == {0, 2, 7, 8}
+
+
+class TestLegalize:
+    def test_drops_singletons(self):
+        dfg = chain_dfg(4)
+        legal = legalize_components(dfg, {0, 2}, ISEConstraints())
+        assert legal == []
+
+    def test_trims_port_overflow(self):
+        dfg = wide_dfg(8)
+        members = set(dfg.nodes)
+        tight = ISEConstraints(n_in=3, n_out=1)
+        legal = legalize_components(dfg, members, tight)
+        from repro.graph import input_values, output_values
+        for piece in legal:
+            assert len(piece) >= 2
+            assert is_convex(dfg, piece)
+            assert len(input_values(dfg, piece)) <= 3
+            assert len(output_values(dfg, piece)) <= 1
+
+    def test_legal_set_passes_through(self):
+        dfg = chain_dfg(3)
+        legal = legalize_components(dfg, {0, 1, 2},
+                                    ISEConstraints(n_in=4, n_out=2))
+        assert legal == [frozenset({0, 1, 2})]
+
+
+class TestContractCandidate:
+    def _tables(self, dfg):
+        return {uid: default_io_table(dfg.op(uid), DEFAULT_DATABASE)
+                for uid in dfg.nodes}
+
+    def test_supernode_shape(self):
+        dfg = chain_dfg(4)
+        candidate = make_candidate(dfg, {1, 2})
+        new_dfg, tables = contract_candidate(dfg, candidate,
+                                             self._tables(dfg))
+        assert len(new_dfg) == 3
+        super_uid = max(new_dfg.nodes)
+        assert new_dfg.op(super_uid).name == "ise"
+        assert not new_dfg.op(super_uid).groupable
+        assert new_dfg.graph.has_edge(0, super_uid)
+        assert new_dfg.graph.has_edge(super_uid, 3)
+
+    def test_supernode_latency_option(self):
+        dfg = chain_dfg(4)
+        slow = {uid: max(DEFAULT_DATABASE.hardware_options("addu"),
+                         key=lambda o: o.delay_ns)
+                for uid in (1, 2)}
+        candidate = ISECandidate(dfg, {1, 2}, slow, DEFAULT_TECHNOLOGY)
+        __, tables = contract_candidate(dfg, candidate, self._tables(dfg))
+        super_uid = max(tables)
+        option = tables[super_uid].software[0]
+        assert option.fu_kind == "asfu"
+        assert option.cycles == candidate.cycles
+
+    def test_uids_preserved_for_survivors(self):
+        dfg = chain_dfg(4)
+        candidate = make_candidate(dfg, {1, 2})
+        new_dfg, __ = contract_candidate(dfg, candidate, self._tables(dfg))
+        assert 0 in new_dfg and 3 in new_dfg
+
+    def test_output_node_propagation(self):
+        dfg = chain_dfg(3)
+        candidate = make_candidate(dfg, {1, 2})  # 2 is the output node
+        new_dfg, __ = contract_candidate(dfg, candidate, self._tables(dfg))
+        super_uid = max(new_dfg.nodes)
+        assert new_dfg.is_output(super_uid)
+
+    def test_sequential_contraction(self):
+        dfg = chain_dfg(6)
+        tables = self._tables(dfg)
+        c1 = make_candidate(dfg, {0, 1})
+        dfg2, tables2 = contract_candidate(dfg, c1, tables)
+        c2_members = {3, 4}
+        c2 = make_candidate(dfg, c2_members)
+        dfg3, tables3 = contract_candidate(dfg2, c2, tables2)
+        assert len(dfg3) == 4
+        ise_nodes = [uid for uid in dfg3.nodes
+                     if dfg3.op(uid).name == "ise"]
+        assert len(ise_nodes) == 2

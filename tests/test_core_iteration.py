@@ -1,0 +1,160 @@
+"""Tests for Operation-Scheduling (Figs. 4.3.3/4.3.4) and clusters."""
+
+import pytest
+
+from repro.config import ISEConstraints
+from repro.core.iteration import IterationSchedule
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY, \
+    default_io_table
+from repro.sched import MachineConfig
+
+from conftest import chain_dfg, diamond_dfg, wide_dfg
+
+
+def make_schedule(dfg, machine=None, constraints=None):
+    machine = machine or MachineConfig(2, "4/2")
+    constraints = constraints or ISEConstraints()
+    return IterationSchedule(dfg, machine, DEFAULT_TECHNOLOGY, constraints)
+
+
+def options_of(dfg, uid):
+    return default_io_table(dfg.op(uid), DEFAULT_DATABASE)
+
+
+class TestSoftwareScheduling:
+    def test_chain_start_after_parent(self):
+        dfg = chain_dfg(3)
+        sched = make_schedule(dfg)
+        for uid in dfg.nodes:
+            sched.schedule_software(uid, options_of(dfg, uid).software[0])
+        assert [sched.start[uid] for uid in dfg.nodes] == [0, 1, 2]
+        assert sched.makespan == 3
+
+    def test_issue_width_respected(self):
+        dfg = wide_dfg(6)
+        sched = make_schedule(dfg, MachineConfig(2, "10/5"))
+        roots = [uid for uid in dfg.nodes
+                 if not list(dfg.predecessors(uid))]
+        for uid in roots:
+            sched.schedule_software(uid, options_of(dfg, uid).software[0])
+        per_cycle = {}
+        for uid in roots:
+            per_cycle.setdefault(sched.start[uid], []).append(uid)
+        assert all(len(v) <= 2 for v in per_cycle.values())
+
+    def test_read_ports_respected(self):
+        dfg = wide_dfg(6)
+        sched = make_schedule(dfg, MachineConfig(4, "4/2"))
+        roots = [uid for uid in dfg.nodes
+                 if not list(dfg.predecessors(uid))]
+        for uid in roots:
+            sched.schedule_software(uid, options_of(dfg, uid).software[0])
+        # 2 reads per op, 4 read ports -> at most 2 ops per cycle.
+        per_cycle = {}
+        for uid in roots:
+            per_cycle.setdefault(sched.start[uid], []).append(uid)
+        assert all(len(v) <= 2 for v in per_cycle.values())
+
+
+class TestHardwareScheduling:
+    def test_chain_fuses_into_one_cluster(self):
+        dfg = chain_dfg(3)
+        sched = make_schedule(dfg)
+        for uid in dfg.nodes:
+            hw = options_of(dfg, uid).hardware[0]
+            sched.schedule_hardware(uid, hw)
+        assert len(sched.clusters) == 1
+        cluster = sched.clusters[0]
+        assert cluster.members == {0, 1, 2}
+        assert all(sched.start[uid] == cluster.start for uid in dfg.nodes)
+
+    def test_cluster_delay_accumulates(self):
+        dfg = chain_dfg(4)
+        sched = make_schedule(dfg)
+        for uid in dfg.nodes:
+            hw = options_of(dfg, uid).hardware[0]   # 4.04 ns adders
+            sched.schedule_hardware(uid, hw)
+        cluster = sched.clusters[0]
+        assert cluster.delay_ns == pytest.approx(4.04 * 4)
+        assert cluster.cycles == 2
+
+    def test_port_limit_blocks_fusion(self):
+        dfg = wide_dfg(6)
+        constraints = ISEConstraints(n_in=2, n_out=1)
+        sched = make_schedule(dfg, MachineConfig(4, "8/4"), constraints)
+        for uid in dfg.nodes:
+            table = options_of(dfg, uid)
+            sched.schedule_hardware(uid, table.hardware[0])
+        # With IN(S) <= 2 a single cluster covering everything is
+        # impossible: several clusters must exist.
+        assert len(sched.clusters) > 1
+        sched.verify()
+
+    def test_sw_parent_prevents_same_cycle(self):
+        dfg = chain_dfg(2)
+        sched = make_schedule(dfg)
+        sched.schedule_software(0, options_of(dfg, 0).software[0])
+        sched.schedule_hardware(1, options_of(dfg, 1).hardware[0])
+        assert sched.start[1] >= sched.finish(0)
+
+    def test_mixed_chain_verifies(self):
+        dfg = diamond_dfg()
+        sched = make_schedule(dfg)
+        for uid in dfg.nodes:
+            table = options_of(dfg, uid)
+            if uid % 2 == 0 and table.has_hardware:
+                sched.schedule_hardware(uid, table.hardware[0])
+            else:
+                sched.schedule_software(uid, table.software[0])
+        sched.verify()
+
+    def test_join_does_not_overrun_scheduled_consumer(self):
+        # 0 -> 1 -> 2 and 0 -> 3; schedule 0 hw, 1 sw consumer at next
+        # cycle, then try to fuse 3 into 0's cluster with a huge delay.
+        dfg = diamond_dfg()
+        sched = make_schedule(dfg)
+        table0 = options_of(dfg, 0)
+        sched.schedule_hardware(0, table0.hardware[0])
+        consumer = next(iter(dfg.data_successors(0)))
+        sched.schedule_software(
+            consumer, options_of(dfg, consumer).software[0])
+        start_before = dict(sched.start)
+        # Any further hw op fusing into the cluster must keep the
+        # consumer's start legal.
+        sched.verify()
+        assert sched.start == start_before
+
+
+class TestQueries:
+    def test_order_tracking(self):
+        dfg = chain_dfg(3)
+        sched = make_schedule(dfg)
+        for uid in dfg.nodes:
+            sched.schedule_software(uid, options_of(dfg, uid).software[0])
+        assert [sched.order[uid] for uid in dfg.nodes] == [0, 1, 2]
+
+    def test_double_schedule_rejected(self):
+        dfg = chain_dfg(2)
+        sched = make_schedule(dfg)
+        opt = options_of(dfg, 0).software[0]
+        sched.schedule_software(0, opt)
+        with pytest.raises(Exception):
+            sched.schedule_software(0, opt)
+
+    def test_ise_groups_view(self):
+        dfg = chain_dfg(2)
+        sched = make_schedule(dfg)
+        for uid in dfg.nodes:
+            sched.schedule_hardware(uid, options_of(dfg, uid).hardware[0])
+        groups = sched.ise_groups()
+        assert len(groups) == 1
+        members, option_of = groups[0]
+        assert members == frozenset({0, 1})
+        assert set(option_of) == {0, 1}
+
+    def test_software_cycles_view(self):
+        dfg = chain_dfg(2)
+        sched = make_schedule(dfg)
+        sched.schedule_software(0, options_of(dfg, 0).software[0])
+        sched.schedule_hardware(1, options_of(dfg, 1).hardware[0])
+        assert sched.software_cycles() == {0: 1}

@@ -1,0 +1,99 @@
+"""Tests for the custom-instruction manual generator."""
+
+import pytest
+
+from repro.config import ISEConstraints
+from repro.core.candidate import ISECandidate
+from repro.core.manual import (
+    ISEEntry,
+    build_manual,
+    expression_of,
+    render_manual,
+)
+from repro.core.merging import merge_candidates
+from repro.core.selection import select_ises
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY
+
+from conftest import chain_dfg, dfg_from_block
+
+
+def make_candidate(dfg, members, saving=1.0):
+    option_of = {uid: DEFAULT_DATABASE.hardware_options(
+        dfg.op(uid).name)[0] for uid in members}
+    candidate = ISECandidate(dfg, members, option_of, DEFAULT_TECHNOLOGY)
+    candidate.weighted_saving = saving
+    return candidate
+
+
+class TestExpressions:
+    def test_chain_expression_nests(self):
+        dfg = chain_dfg(3)            # t = ((a+b)+b)+b
+        candidate = make_candidate(dfg, {0, 1, 2})
+        expr = expression_of(candidate, 2)
+        assert expr == "(((a + b) + b) + b)"
+
+    def test_external_operands_stay_names(self):
+        def body(b):
+            t = b.xor("a", "b")
+            u = b.addu(t, "c")
+            return b.or_(u, "d")
+        dfg = dfg_from_block(body)
+        candidate = make_candidate(dfg, {1, 2})
+        expr = expression_of(candidate, 2)
+        # t0 comes from outside the candidate.
+        assert expr == "((t0 + c) | d)"
+
+    def test_immediate_forms(self):
+        def body(b):
+            t = b.andi("a", 0xFF)
+            return b.sll(t, 3)
+        dfg = dfg_from_block(body)
+        candidate = make_candidate(dfg, {0, 1})
+        expr = expression_of(candidate, 1)
+        assert expr == "((a & 255) << 3)"
+
+    def test_shift_and_compare_notation(self):
+        def body(b):
+            s = b.sra("a", 4)
+            return b.sltu(s, "b")
+        dfg = dfg_from_block(body)
+        candidate = make_candidate(dfg, {0, 1})
+        assert expression_of(candidate, 1) == "((a >>a 4) <u b)"
+
+
+class TestEntries:
+    def test_entry_fields(self):
+        dfg = chain_dfg(3)
+        entry = ISEEntry("ise0", make_candidate(dfg, {0, 1, 2}))
+        assert entry.inputs == ["a", "b"]
+        assert len(entry.outputs) == 1
+        (value, expression), = entry.semantics.items()
+        assert expression.count("+") == 3
+
+    def test_render_contains_costs(self):
+        dfg = chain_dfg(2)
+        text = ISEEntry("mac0", make_candidate(dfg, {0, 1})).render()
+        assert text.startswith("mac0 ")
+        assert "latency" in text and "um2" in text
+        assert "datapath" in text
+
+    def test_build_manual_numbers_instructions(self):
+        dfg = chain_dfg(6)
+        merged = merge_candidates(
+            [make_candidate(dfg, {0, 1}, saving=2.0)]) + merge_candidates(
+            [make_candidate(dfg, {3, 4}, saving=1.0)])
+        selection = select_ises(merged, ISEConstraints())
+        entries = build_manual(selection)
+        assert [e.mnemonic for e in entries] == ["ise0", "ise1"]
+
+    def test_render_manual_empty(self):
+        text = render_manual([])
+        assert "no instructions" in text
+
+    def test_render_manual_full(self):
+        dfg = chain_dfg(4)
+        merged = merge_candidates([make_candidate(dfg, {0, 1}, 2.0)])
+        selection = select_ises(merged, ISEConstraints())
+        text = render_manual(selection, title="Test ISA")
+        assert text.startswith("Test ISA")
+        assert "ise0" in text

@@ -1,0 +1,187 @@
+"""Tests for Hardware-Grouping, ScheduleAnalysis and the merit function."""
+
+import pytest
+
+from repro.config import ExplorationParams, ISEConstraints
+from repro.core.analysis import ScheduleAnalysis
+from repro.core.grouping import best_group_of, hardware_grouping
+from repro.core.iteration import IterationSchedule
+from repro.core.merit import update_merits
+from repro.core.state import ExplorationState
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY, \
+    default_io_table
+from repro.sched import MachineConfig
+
+from conftest import chain_dfg, diamond_dfg
+
+
+def build_state(dfg, **overrides):
+    params = ExplorationParams(**overrides)
+    tables = {uid: default_io_table(dfg.op(uid), DEFAULT_DATABASE)
+              for uid in dfg.nodes}
+    return ExplorationState(dfg, tables, params)
+
+
+def schedule_all(dfg, state, hardware=()):
+    sched = IterationSchedule(dfg, MachineConfig(2, "4/2"),
+                              DEFAULT_TECHNOLOGY, ISEConstraints())
+    for uid in dfg.nodes:
+        table = state.options[uid]
+        if uid in hardware:
+            option = next(o for o in table if o.is_hardware)
+            sched.schedule_hardware(uid, option)
+        else:
+            option = next(o for o in table if o.is_software)
+            sched.schedule_software(uid, option)
+    return sched.verify()
+
+
+class TestHardwareGrouping:
+    def test_group_around_seed(self):
+        dfg = chain_dfg(4)
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state, hardware={1, 2})
+        groups = hardware_grouping(dfg, state, sched)
+        hw_label = state.hardware_options(0)[0].label
+        group = groups[(0, hw_label)]
+        assert group.members == {0, 1, 2}
+
+    def test_software_node_blocks_growth(self):
+        dfg = chain_dfg(5)
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state, hardware={1, 3})   # 2 is software
+        groups = hardware_grouping(dfg, state, sched)
+        hw_label = state.hardware_options(0)[0].label
+        assert groups[(0, hw_label)].members == {0, 1}
+
+    def test_per_option_evaluations_differ(self):
+        dfg = chain_dfg(2)          # addu has two design points
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state, hardware={1})
+        groups = hardware_grouping(dfg, state, sched)
+        evaluations = [g for (seed, __), g in groups.items() if seed == 0]
+        assert len(evaluations) == 2
+        delays = {g.delay_ns for g in evaluations}
+        assert len(delays) == 2        # fast vs slow adder
+
+    def test_best_group_is_fastest(self):
+        dfg = chain_dfg(2)
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state, hardware={1})
+        groups = hardware_grouping(dfg, state, sched)
+        best = best_group_of(groups, 0)
+        assert best.delay_ns == min(
+            g.delay_ns for (s, __), g in groups.items() if s == 0)
+
+
+class TestScheduleAnalysis:
+    def test_critical_path_of_diamond(self):
+        dfg = diamond_dfg()
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state)
+        analysis = ScheduleAnalysis(dfg, sched)
+        assert analysis.is_critical(0)
+        assert analysis.is_critical(8)
+        assert not analysis.is_critical(2)     # short side chain
+
+    def test_cluster_counts_as_unit(self):
+        dfg = chain_dfg(4)
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state, hardware={1, 2})
+        analysis = ScheduleAnalysis(dfg, sched)
+        # Chain collapsed: dependence makespan shrinks below 4.
+        assert analysis.dependence_makespan < 4
+
+    def test_max_aec_of_critical_group_is_tight(self):
+        dfg = chain_dfg(4)
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state)
+        analysis = ScheduleAnalysis(dfg, sched)
+        # Middle of the only chain: window = makespan - head - tail.
+        assert analysis.max_aec({1, 2}) == 2
+
+    def test_max_aec_of_slack_group_is_wide(self):
+        dfg = diamond_dfg()
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state)
+        analysis = ScheduleAnalysis(dfg, sched)
+        off_path = analysis.max_aec({2, 4})
+        on_path = analysis.max_aec({3, 5})
+        assert off_path >= on_path
+
+
+class TestMeritFunction:
+    def test_critical_path_boost(self):
+        dfg = diamond_dfg()
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state)
+        before = dict(state.merit)
+        update_merits(dfg, state, sched, ISEConstraints())
+        # Compare critical vs non-critical op with identical opcode mix:
+        # node 0 (critical xor) should end with hardware merit at least
+        # that of node 2 (non-critical or).
+        hw0 = state.hardware_options(0)[0].label
+        hw2 = state.hardware_options(2)[0].label
+        del before
+        assert state.merit[(0, hw0)] >= state.merit[(2, hw2)]
+
+    def test_singleton_damping(self):
+        dfg = chain_dfg(3)
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state)     # nothing chose hardware
+
+        def hw_sw_ratio(uid):
+            hw_label = state.hardware_options(uid)[0].label
+            return state.merit[(uid, hw_label)] / state.merit[(uid, "SW")]
+
+        # All groups are singletons: repeated merit updates shrink the
+        # hardware/software merit ratio iteration over iteration.
+        update_merits(dfg, state, sched, ISEConstraints())
+        first = hw_sw_ratio(1)
+        update_merits(dfg, state, sched, ISEConstraints())
+        second = hw_sw_ratio(1)
+        assert second < first
+
+    def test_io_violation_damping(self):
+        from conftest import wide_dfg
+        dfg = wide_dfg(8)
+        state = build_state(dfg)
+        hardware = set(dfg.nodes)
+        sched = schedule_all(dfg, state, hardware=hardware)
+        tight = ISEConstraints(n_in=2, n_out=1)
+        update_merits(dfg, state, sched, tight)
+        loose_state = build_state(dfg)
+        sched2 = schedule_all(dfg, loose_state, hardware=hardware)
+        update_merits(dfg, loose_state, sched2,
+                      ISEConstraints(n_in=16, n_out=8))
+        # Tighter constraints leave hardware merits lower on average.
+        def avg_hw(s):
+            vals = [s.merit[k] for k in s.merit if k[1] != "SW"]
+            return sum(vals) / len(vals)
+        assert avg_hw(state) <= avg_hw(loose_state)
+
+    def test_merits_stay_positive_and_normalized(self):
+        dfg = diamond_dfg()
+        state = build_state(dfg)
+        sched = schedule_all(dfg, state, hardware={0, 3})
+        update_merits(dfg, state, sched, ISEConstraints())
+        for uid in dfg.nodes:
+            keys = state.keys_of(uid)
+            total = sum(state.merit[k] for k in keys)
+            assert total == pytest.approx(
+                state.params.merit_scale * len(keys))
+            assert all(state.merit[k] > 0 for k in keys)
+
+    def test_ablation_toggles(self):
+        dfg = diamond_dfg()
+        baseline = build_state(dfg)
+        sched = schedule_all(dfg, baseline)
+        update_merits(dfg, baseline, sched, ISEConstraints())
+
+        blind = build_state(dfg, use_critical_path_boost=False)
+        sched_b = schedule_all(dfg, blind)
+        update_merits(dfg, blind, sched_b, ISEConstraints())
+        hw0 = baseline.hardware_options(0)[0].label
+        # With the boost, critical node 0's hardware merit is larger
+        # than without it.
+        assert baseline.merit[(0, hw0)] >= blind.merit[(0, hw0)]

@@ -1,0 +1,156 @@
+"""Tests for ISE replacement and the end-to-end design flow."""
+
+import pytest
+
+from repro.config import ExplorationParams, ISEConstraints
+from repro.core.candidate import ISECandidate
+from repro.core.flow import ISEDesignFlow
+from repro.core.merging import merge_candidates
+from repro.core.replacement import plan_block_replacements, \
+    replace_and_schedule
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY
+from repro.sched import MachineConfig
+from repro.workloads import get_workload
+
+from conftest import dfg_from_block
+
+
+def fastest_candidate(dfg, members, saving=1.0):
+    option_of = {uid: min(DEFAULT_DATABASE.hardware_options(dfg.op(uid).name),
+                          key=lambda o: o.delay_ns)
+                 for uid in members}
+    candidate = ISECandidate(dfg, members, option_of, DEFAULT_TECHNOLOGY)
+    candidate.weighted_saving = saving
+    return candidate
+
+
+def repeated_dfg():
+    def body(b):
+        x1 = b.addu("a", "b")
+        y1 = b.xor(x1, "c")
+        x2 = b.addu("c", "d")
+        y2 = b.xor(x2, "a")
+        x3 = b.addu("b", "d")
+        y3 = b.xor(x3, "c")
+        m = b.or_(y1, y2)
+        return b.or_(m, y3)
+    return dfg_from_block(body)
+
+
+class TestReplacement:
+    def test_all_occurrences_replaced(self):
+        dfg = repeated_dfg()
+        candidate = fastest_candidate(dfg, {0, 1})
+        merged = merge_candidates([candidate])
+        groups = plan_block_replacements(dfg, merged, ISEConstraints())
+        assert len(groups) == 3           # three addu->xor sites
+        covered = set().union(*(m for m, __ in groups))
+        assert covered == {0, 1, 2, 3, 4, 5}
+
+    def test_no_overlapping_matches(self):
+        dfg = repeated_dfg()
+        two_op = fastest_candidate(dfg, {0, 1}, saving=1.0)
+        merged = merge_candidates([two_op])
+        groups = plan_block_replacements(dfg, merged, ISEConstraints())
+        seen = set()
+        for members, __ in groups:
+            assert not (members & seen)
+            seen |= members
+
+    def test_schedule_improves(self):
+        dfg = repeated_dfg()
+        machine = MachineConfig(2, "4/2")
+        candidate = fastest_candidate(dfg, {0, 1})
+        merged = merge_candidates([candidate])
+        schedule, groups = replace_and_schedule(
+            dfg, merged, machine, DEFAULT_TECHNOLOGY, ISEConstraints())
+        baseline, __ = replace_and_schedule(
+            dfg, [], machine, DEFAULT_TECHNOLOGY, ISEConstraints())
+        assert schedule.makespan <= baseline.makespan
+        assert groups
+
+    def test_option_transfer_by_opcode(self):
+        dfg = repeated_dfg()
+        candidate = fastest_candidate(dfg, {0, 1})
+        merged = merge_candidates([candidate])
+        groups = plan_block_replacements(dfg, merged, ISEConstraints())
+        for members, option_of in groups:
+            for uid in members:
+                assert option_of[uid].is_hardware
+
+
+class TestDesignFlow:
+    @pytest.fixture(scope="class")
+    def flow_and_explored(self):
+        program, args = get_workload("crc32").build()
+        machine = MachineConfig(2, "4/2")
+        params = ExplorationParams(max_iterations=60, restarts=1,
+                                   max_rounds=6)
+        flow = ISEDesignFlow(machine, params=params, seed=3, max_blocks=3)
+        explored = flow.explore_application(program, args=args,
+                                            opt_level="O3")
+        return flow, explored
+
+    def test_profile_blocks_have_frequencies(self, flow_and_explored):
+        __, explored = flow_and_explored
+        hot = [b for b in explored.blocks if b.freq > 0]
+        assert hot
+        assert any(b.label == "bit_loop" for b in hot)
+
+    def test_baseline_cycles_positive(self, flow_and_explored):
+        __, explored = flow_and_explored
+        assert explored.baseline_cycles > 0
+
+    def test_candidates_found(self, flow_and_explored):
+        __, explored = flow_and_explored
+        assert explored.candidates
+        assert all(c.weighted_saving >= 0 for c in explored.candidates)
+
+    def test_evaluation_improves(self, flow_and_explored):
+        flow, explored = flow_and_explored
+        report = flow.evaluate(explored, ISEConstraints(max_ises=2))
+        assert report.final_cycles < report.baseline_cycles
+        assert 0.0 < report.reduction < 1.0
+        assert report.num_ises <= 2
+
+    def test_area_budget_respected(self, flow_and_explored):
+        flow, explored = flow_and_explored
+        report = flow.evaluate(explored, ISEConstraints(max_area=5000))
+        assert report.area <= 5000
+
+    def test_zero_budget_is_baseline(self, flow_and_explored):
+        flow, explored = flow_and_explored
+        report = flow.evaluate(explored, ISEConstraints(max_ises=0))
+        assert report.final_cycles == report.baseline_cycles
+        assert report.reduction == 0.0
+
+    def test_monotone_count_budgets(self, flow_and_explored):
+        flow, explored = flow_and_explored
+        reductions = [flow.evaluate(explored,
+                                    ISEConstraints(max_ises=n)).reduction
+                      for n in (0, 1, 2)]
+        assert reductions[0] <= reductions[1] + 1e-9
+
+    def test_call_blocks_cost_model(self):
+        # O0 keeps the helper call; the flow must still cost the block.
+        from repro.ir import FunctionBuilder, Program
+        callee = FunctionBuilder("helper", params=("x",))
+        callee.label("entry")
+        t = callee.addu("x", "x")
+        callee.ret(t)
+        caller = FunctionBuilder("main", params=("v",))
+        caller.label("entry")
+        a = caller.addu("v", "v")
+        r = caller.call("helper", (a,))
+        out = caller.xor(r, "v")
+        caller.ret(out)
+        program = Program("p")
+        program.add_function(caller.finish())
+        program.add_function(callee.finish())
+        flow = ISEDesignFlow(MachineConfig(2, "4/2"))
+        blocks = flow.profile_blocks(program, args=(3,))
+        main_entry = next(b for b in blocks
+                          if b.function == "main" and b.label == "entry")
+        assert main_entry.calls == 1
+        assert not main_entry.explorable
+        assert main_entry.base_cycles >= 3   # two segments + call

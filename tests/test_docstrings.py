@@ -1,0 +1,75 @@
+"""Documentation quality gate.
+
+Deliverable (e) requires doc comments on every public item; this test
+walks the whole package and fails on any public module, class, function
+or method without a docstring, so documentation debt cannot creep in.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+#: Names that are legitimately docstring-free (dataclass auto-methods
+#: and the like are filtered structurally, not listed here).
+_EXEMPT_MODULES = {"repro.__main__"}
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in _EXEMPT_MODULES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.ismodule(obj):
+            continue
+        defined_here = getattr(obj, "__module__", None) == module.__name__
+        if not defined_here:
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+def test_every_module_documented():
+    missing = [module.__name__ for module in _walk_modules()
+               if not (module.__doc__ or "").strip()]
+    assert not missing, "undocumented modules: {}".format(missing)
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for module in _walk_modules():
+        for name, obj in _public_members(module):
+            if not (obj.__doc__ or "").strip():
+                missing.append("{}.{}".format(module.__name__, name))
+    assert not missing, "undocumented: {}".format(missing)
+
+
+def test_public_methods_documented():
+    missing = []
+    for module in _walk_modules():
+        for cls_name, cls in _public_members(module):
+            if not inspect.isclass(cls):
+                continue
+            for name, member in vars(cls).items():
+                if name.startswith("_"):
+                    continue
+                func = member
+                if isinstance(member, (staticmethod, classmethod)):
+                    func = member.__func__
+                elif isinstance(member, property):
+                    func = member.fget
+                if not inspect.isfunction(func):
+                    continue
+                if not (func.__doc__ or "").strip():
+                    missing.append("{}.{}.{}".format(
+                        module.__name__, cls_name, name))
+    assert not missing, \
+        "undocumented methods: {}".format(sorted(missing))

@@ -1,0 +1,120 @@
+"""Tests for VLIW bundle emission and result persistence."""
+
+import pytest
+
+from repro.core.candidate import ISECandidate
+from repro.errors import ReproError
+from repro.eval.persistence import (
+    candidate_record,
+    figure_record,
+    load_figure,
+    load_json,
+    report_record,
+    save_json,
+)
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY, HardwareOption
+from repro.sched import MachineConfig, contract_dfg, emit_block_listing, \
+    emit_bundles, list_schedule
+
+from conftest import chain_dfg, diamond_dfg
+
+
+def schedule_of(dfg, groups=(), machine=None):
+    machine = machine or MachineConfig(2, "4/2")
+    graph, units = contract_dfg(dfg, list(groups), DEFAULT_TECHNOLOGY)
+    return list_schedule(graph, units, machine)
+
+
+class TestEmit:
+    def test_one_bundle_per_cycle(self):
+        dfg = diamond_dfg()
+        schedule = schedule_of(dfg)
+        text = emit_bundles(schedule, dfg=dfg)
+        assert text.count("\n") + 1 == schedule.makespan
+        assert text.count("{") == schedule.makespan
+
+    def test_parallel_ops_joined(self):
+        dfg = diamond_dfg()
+        schedule = schedule_of(dfg)
+        text = emit_bundles(schedule, dfg=dfg)
+        assert "||" in text
+
+    def test_ise_rendered_with_values(self):
+        dfg = chain_dfg(4)
+        option = DEFAULT_DATABASE.hardware_options("addu")[1]
+        groups = [({1, 2}, {1: option, 2: option})]
+        schedule = schedule_of(dfg, groups)
+        text = emit_bundles(schedule, dfg=dfg)
+        assert "ise0" in text and "<-" in text
+
+    def test_multicycle_latency_marked(self):
+        dfg = chain_dfg(4)
+        slow = HardwareOption("HW", delay_ns=25.0, area=10.0)
+        groups = [({1, 2}, {1: slow, 2: slow})]
+        schedule = schedule_of(dfg, groups)
+        text = emit_bundles(schedule, dfg=dfg)
+        assert "[5cyc]" in text      # 2 x 25 ns chained = 5 cycles
+
+    def test_name_overrides(self):
+        dfg = chain_dfg(3)
+        option = DEFAULT_DATABASE.hardware_options("addu")[0]
+        groups = [({0, 1}, {0: option, 1: option})]
+        schedule = schedule_of(dfg, groups)
+        text = emit_bundles(schedule, names={"ise0": "crc_step"})
+        assert "crc_step" in text
+
+    def test_listing_header(self):
+        dfg = diamond_dfg()
+        schedule = schedule_of(dfg)
+        text = emit_block_listing(dfg, schedule)
+        assert text.startswith(";")
+        assert "units/cycle" in text
+
+
+class TestPersistence:
+    def _candidate(self):
+        dfg = chain_dfg(3)
+        option = DEFAULT_DATABASE.hardware_options("addu")[0]
+        return ISECandidate(dfg, {0, 1}, {0: option, 1: option},
+                            DEFAULT_TECHNOLOGY)
+
+    def test_candidate_record_fields(self):
+        record = candidate_record(self._candidate())
+        assert record["members"] == [0, 1]
+        assert record["opcodes"]["0"] == "addu"
+        assert record["cycles"] >= 1
+        assert record["num_inputs"] == 2
+
+    def test_figure_roundtrip(self, tmp_path):
+        rows = {("MI", "4/2", 2, "O3"): {20000: 12.5, 40000: 13.5}}
+        path = tmp_path / "fig.json"
+        save_json(path, figure_record(rows))
+        loaded = load_figure(load_json(path))
+        assert loaded == rows
+
+    def test_malformed_level_rejected(self):
+        with pytest.raises(ReproError):
+            load_figure([{"algorithm": "MI", "ports": "4/2", "issue": 2,
+                          "opt": "O3", "cells": {"twenty": 1.0}}])
+
+    def test_report_record(self):
+        from repro.config import ExplorationParams, ISEConstraints
+        from repro.core.flow import ISEDesignFlow
+        from repro.workloads import get_workload
+        program, args = get_workload("dijkstra").build()
+        flow = ISEDesignFlow(
+            MachineConfig(2, "4/2"),
+            params=ExplorationParams(max_iterations=30, restarts=1,
+                                     max_rounds=2),
+            seed=1, max_blocks=2)
+        report = flow.run(program, args=args,
+                          constraints=ISEConstraints(max_ises=2))
+        record = report_record(report)
+        assert record["baseline_cycles"] == report.baseline_cycles
+        assert len(record["selected"]) == report.num_ises
+
+    def test_save_json_stable(self, tmp_path):
+        path = tmp_path / "x.json"
+        save_json(path, {"b": 1, "a": 2})
+        text = path.read_text()
+        assert text.index('"a"') < text.index('"b"')

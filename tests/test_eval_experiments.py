@@ -1,0 +1,77 @@
+"""Unit tests for the figure-regeneration functions (reduced grids)."""
+
+import pytest
+
+from repro.eval import (
+    EvalContext,
+    figure_5_2_1,
+    figure_5_2_2,
+    figure_5_2_3,
+    headline_single_ise,
+    headline_vs_baseline,
+    per_workload_table,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    """One cheap workload so each figure runs in seconds."""
+    return EvalContext(profile="quick", workload_names=["dijkstra"],
+                       seed=5)
+
+
+SMALL_CASES = (("4/2", 2),)
+
+
+class TestFigureFunctions:
+    def test_figure_5_2_1_shape(self, tiny_ctx):
+        rows = figure_5_2_1(tiny_ctx, budgets=(20_000, 40_000),
+                            cases=SMALL_CASES, opts=("O0",),
+                            algos=("MI",))
+        assert set(rows) == {("MI", "4/2", 2, "O0")}
+        cells = rows[("MI", "4/2", 2, "O0")]
+        assert set(cells) == {20_000, 40_000}
+        assert all(0.0 <= v < 100.0 for v in cells.values())
+
+    def test_figure_5_2_2_shape(self, tiny_ctx):
+        rows = figure_5_2_2(tiny_ctx, counts=(1, 2), cases=SMALL_CASES,
+                            opts=("O0",), algos=("MI",))
+        cells = rows[("MI", "4/2", 2, "O0")]
+        assert cells[2] >= cells[1] - 1e-9
+
+    def test_figure_5_2_3_series(self, tiny_ctx):
+        series = figure_5_2_3(tiny_ctx, counts=(1, 2), ports="4/2",
+                              issue=2, opt="O0", algos=("MI",))
+        points = series["MI"]
+        assert [n for n, __, ___ in points] == [1, 2]
+        areas = [a for __, a, ___ in points]
+        assert areas[1] >= areas[0] - 1e-9
+
+    def test_headline_single_ise(self, tiny_ctx):
+        (maximum, minimum, average), per_case = headline_single_ise(
+            tiny_ctx, cases=SMALL_CASES, opts=("O0",))
+        assert maximum >= average >= minimum
+        assert len(per_case) == 1
+
+    def test_headline_vs_baseline(self, tiny_ctx):
+        (maximum, minimum, average), per_case = headline_vs_baseline(
+            tiny_ctx, cases=SMALL_CASES, opts=("O0",),
+            budgets=(40_000,))
+        assert maximum >= average >= minimum
+        assert len(per_case) == 1
+
+    def test_per_workload_table(self, tiny_ctx):
+        table = per_workload_table(tiny_ctx, ports="4/2", issue=2,
+                                   opt="O0", algos=("MI",),
+                                   budget=40_000)
+        assert set(table) == {"dijkstra"}
+        reduction, count, area = table["dijkstra"]["MI"]
+        assert 0.0 <= reduction < 100.0
+        assert count >= 0 and area >= 0.0
+
+    def test_cells_are_cached_across_figures(self, tiny_ctx):
+        # Both figures touched the same (workload, machine, opt, algo)
+        # cell; the context must hold exactly the explored variants.
+        keys = {key[3] for key in tiny_ctx._cache}
+        assert keys <= {"MI", "SI"}
+        assert len(tiny_ctx._cache) <= 4

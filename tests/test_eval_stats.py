@@ -1,0 +1,73 @@
+"""Tests for the exploration statistics module."""
+
+import pytest
+
+from repro.core.candidate import ISECandidate
+from repro.eval.stats import ExplorationStats, stats_of
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY
+
+from conftest import chain_dfg
+
+
+def candidate(dfg, members, fastest=True):
+    option_of = {}
+    for uid in members:
+        options = DEFAULT_DATABASE.hardware_options(dfg.op(uid).name)
+        key = (lambda o: o.delay_ns) if fastest else (lambda o: -o.delay_ns)
+        option_of[uid] = min(options, key=key)
+    return ISECandidate(dfg, members, option_of, DEFAULT_TECHNOLOGY)
+
+
+class TestStats:
+    def test_empty(self):
+        stats = ExplorationStats([])
+        assert stats.count == 0
+        assert stats.mean_size() == 0.0
+        assert stats.summary() == "no candidates"
+        assert stats.fast_option_fraction() == 0.0
+
+    def test_histograms(self):
+        dfg = chain_dfg(6)
+        stats = ExplorationStats([
+            candidate(dfg, {0, 1}),
+            candidate(dfg, {2, 3, 4}),
+        ])
+        assert stats.count == 2
+        assert stats.size_histogram() == {2: 1, 3: 1}
+        assert stats.total_operations() == 5
+        assert stats.mean_size() == 2.5
+        assert stats.opcode_mix()["addu"] == 5
+
+    def test_option_mix_and_fast_fraction(self):
+        dfg = chain_dfg(4)
+        fast = candidate(dfg, {0, 1}, fastest=True)
+        slow = candidate(dfg, {2, 3}, fastest=False)
+        stats = ExplorationStats([fast, slow])
+        mix = stats.option_mix()
+        assert sum(mix.values()) == 4
+        assert stats.fast_option_fraction() == pytest.approx(0.5)
+
+    def test_summary_text(self):
+        dfg = chain_dfg(3)
+        stats = ExplorationStats([candidate(dfg, {0, 1})])
+        text = stats.summary()
+        assert "1 candidates" in text
+        assert "addu" in text
+        assert "fast-point fraction" in text
+
+    def test_stats_of_explored(self):
+        from repro.config import ExplorationParams
+        from repro.core.flow import ISEDesignFlow
+        from repro.sched import MachineConfig
+        from repro.workloads import get_workload
+        program, args = get_workload("dijkstra").build()
+        flow = ISEDesignFlow(
+            MachineConfig(2, "4/2"),
+            params=ExplorationParams(max_iterations=30, restarts=1,
+                                     max_rounds=2),
+            seed=1, max_blocks=2)
+        explored = flow.explore_application(program, args=args)
+        stats = stats_of(explored)
+        assert stats.count == len(explored.candidates)
+        if stats.count:
+            assert stats.total_area() > 0

@@ -1,0 +1,108 @@
+"""Tests for the DOT/Gantt exporters and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.candidate import ISECandidate
+from repro.graph.export import candidate_to_dot, dfg_to_dot, \
+    schedule_to_gantt
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY
+from repro.sched import MachineConfig, contract_dfg, list_schedule
+
+from conftest import chain_dfg, diamond_dfg
+
+
+class TestDotExport:
+    def test_contains_all_nodes_and_edges(self):
+        dfg = diamond_dfg()
+        dot = dfg_to_dot(dfg)
+        assert dot.startswith("digraph")
+        for uid in dfg.nodes:
+            assert "n{} [".format(uid) in dot
+        assert dot.count("->") == dfg.graph.number_of_edges()
+
+    def test_highlight_colours_members(self):
+        dfg = chain_dfg(4)
+        dot = dfg_to_dot(dfg, highlight=[{1, 2}])
+        assert "fillcolor" in dot
+        assert dot.count("fillcolor") == 2
+
+    def test_output_nodes_double_bordered(self):
+        dfg = chain_dfg(3)
+        dot = dfg_to_dot(dfg)
+        assert "peripheries=2" in dot
+
+    def test_candidate_to_dot(self):
+        dfg = chain_dfg(3)
+        option_of = {uid: DEFAULT_DATABASE.hardware_options("addu")[0]
+                     for uid in (0, 1)}
+        candidate = ISECandidate(dfg, {0, 1}, option_of,
+                                 DEFAULT_TECHNOLOGY)
+        dot = candidate_to_dot(candidate)
+        assert "fillcolor" in dot and "addu" in dot
+
+
+class TestGantt:
+    def test_rows_per_cycle(self):
+        dfg = chain_dfg(3)
+        graph, units = contract_dfg(dfg, [], DEFAULT_TECHNOLOGY)
+        schedule = list_schedule(graph, units, MachineConfig(2, "4/2"))
+        gantt = schedule_to_gantt(schedule)
+        assert gantt.count("\n") + 1 == schedule.makespan
+
+    def test_multicycle_marked(self):
+        from repro.hwlib import HardwareOption
+        dfg = chain_dfg(4)
+        slow = HardwareOption("HW", delay_ns=25.0, area=1.0)
+        graph, units = contract_dfg(
+            dfg, [({1, 2}, {1: slow, 2: slow})], DEFAULT_TECHNOLOGY)
+        schedule = list_schedule(graph, units, MachineConfig(2, "4/2"))
+        gantt = schedule_to_gantt(schedule)
+        assert "ise0*" in gantt
+
+    def test_empty_schedule(self):
+        import networkx as nx
+        from repro.sched.list_scheduler import Schedule
+        empty = Schedule(nx.DiGraph(), {}, {})
+        assert "empty" in schedule_to_gantt(empty)
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["workloads"])
+        assert args.command == "workloads"
+        args = parser.parse_args(
+            ["explore", "crc32", "--issue", "3", "--ports", "6/3",
+             "--area", "50000"])
+        assert args.issue == 3 and args.area == 50000.0
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "crc32" in out and "dijkstra" in out
+
+    def test_table_command(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        assert "84428" in out
+
+    def test_explore_command(self, capsys):
+        code = main(["explore", "dijkstra", "--iterations", "30",
+                     "--restarts", "1", "--max-ises", "1",
+                     "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reduction:" in out
+        assert "baseline" in out
+
+    def test_dot_command(self, capsys):
+        code = main(["dot", "dijkstra", "--iterations", "30",
+                     "--restarts", "1", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

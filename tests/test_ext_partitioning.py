@@ -1,0 +1,99 @@
+"""Tests for the HW/SW partitioning extension (§6 future work)."""
+
+import pytest
+
+from repro.config import ExplorationParams
+from repro.errors import ConfigError, IRError
+from repro.ext import TaskGraph, partition
+
+TINY = ExplorationParams(max_iterations=60, restarts=1, max_rounds=4)
+
+
+def pipeline_graph():
+    """A linear media pipeline with one side branch."""
+    tg = TaskGraph("pipeline")
+    tg.add_task("read", 4)
+    tg.add_task("transform", 10, hw_bins=[(3.0, 900.0), (2.0, 1500.0)],
+                deps=["read"])
+    tg.add_task("quant", 5, hw_bins=[(1.0, 250.0)], deps=["transform"])
+    tg.add_task("pack", 3, hw_bins=[(1.0, 100.0)], deps=["quant"])
+    tg.add_task("stats", 4, hw_bins=[(2.0, 150.0)], deps=["read"])
+    tg.add_task("emit", 2, deps=["pack", "stats"])
+    return tg
+
+
+class TestTaskGraph:
+    def test_build_and_lower(self):
+        tg = pipeline_graph()
+        dfg, tables = tg.to_dfg()
+        assert len(dfg) == 6
+        assert set(tables) == set(range(6))
+        # Software-only tasks carry no hardware options.
+        read_uid = 0
+        assert not tables[read_uid].has_hardware
+        # Latencies carried through.
+        assert tables[1].software[0].cycles == 10
+
+    def test_duplicate_task_rejected(self):
+        tg = TaskGraph()
+        tg.add_task("a", 1)
+        with pytest.raises(IRError):
+            tg.add_task("a", 2)
+
+    def test_unknown_dep_rejected(self):
+        tg = TaskGraph()
+        with pytest.raises(IRError):
+            tg.add_task("b", 1, deps=["ghost"])
+
+    def test_bad_latency_rejected(self):
+        tg = TaskGraph()
+        with pytest.raises(ConfigError):
+            tg.add_task("a", 0)
+        with pytest.raises(ConfigError):
+            tg.add_task("b", 1, hw_bins=[(0.0, 10.0)])
+
+    def test_sink_tasks_are_outputs(self):
+        tg = pipeline_graph()
+        dfg, __ = tg.to_dfg()
+        assert dfg.is_output(5)        # emit
+        assert not dfg.is_output(0)
+
+
+class TestPartition:
+    def test_speedup_on_pipeline(self):
+        result = partition(pipeline_graph(), params=TINY, seed=3)
+        assert result.makespan_partitioned <= result.makespan_software
+        assert result.speedup >= 1.0
+        assert result.hardware_area >= 0.0
+
+    def test_all_software_when_no_bins(self):
+        tg = TaskGraph()
+        tg.add_task("a", 3)
+        tg.add_task("b", 4, deps=["a"])
+        result = partition(tg, params=TINY)
+        assert result.hardware_blocks() == []
+        assert result.speedup == 1.0
+        assert result.software_tasks() == {"a", "b"}
+
+    def test_partition_is_a_partition(self):
+        result = partition(pipeline_graph(), params=TINY, seed=3)
+        hw = result.hardware_tasks()
+        sw = result.software_tasks()
+        names = {t.name for t in pipeline_graph().tasks}
+        assert hw | sw == names
+        assert not (hw & sw)
+
+    def test_area_budget_respected(self):
+        unbounded = partition(pipeline_graph(), params=TINY, seed=3)
+        if unbounded.hardware_area == 0:
+            pytest.skip("nothing mapped to hardware at this effort")
+        budget = unbounded.hardware_area / 2
+        bounded = partition(pipeline_graph(), params=TINY, seed=3,
+                            max_area=budget)
+        assert bounded.hardware_area <= budget
+
+    def test_more_processors_faster_software_baseline(self):
+        tg = pipeline_graph()
+        one = partition(tg, processors=1, params=TINY, seed=3)
+        two = partition(tg, processors=2, params=TINY, seed=3)
+        assert two.makespan_software <= one.makespan_software

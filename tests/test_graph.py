@@ -1,0 +1,249 @@
+"""Tests for DFG construction and the graph analyses of §4.2."""
+
+import pytest
+
+from repro.config import ISEConstraints
+from repro.errors import ConstraintError
+from repro.graph import (
+    alap_schedule,
+    asap_schedule,
+    check_candidate,
+    critical_nodes,
+    grown_group,
+    hardware_components,
+    input_values,
+    is_convex,
+    is_legal,
+    longest_path_cycles,
+    output_values,
+    pattern_graph,
+    same_pattern,
+    contains_pattern,
+    slack,
+    violates_memory_rule,
+)
+
+from conftest import chain_dfg, diamond_dfg, dfg_from_block, memory_dfg, \
+    wide_dfg
+
+UNIT = lambda uid: 1
+
+
+class TestDFGConstruction:
+    def test_chain_edges(self):
+        dfg = chain_dfg(4)
+        assert len(dfg) == 4
+        assert list(dfg.data_successors(0)) == [1]
+        assert list(dfg.data_predecessors(3)) == [2]
+
+    def test_external_inputs(self):
+        dfg = chain_dfg(3)
+        assert "a" in dfg.external_inputs(0)
+        # Later links read 'b' externally and the chain value internally.
+        assert dfg.external_inputs(1) == ["b"]
+
+    def test_output_nodes_from_terminator(self):
+        dfg = chain_dfg(3)
+        assert dfg.is_output(2)
+        assert not dfg.is_output(0)
+
+    def test_redefined_value_edges(self):
+        def body(b):
+            b.addu("a", "b", dest="x")
+            b.xor("x", "c", dest="x")
+            return b.or_("x", "d")
+        dfg = dfg_from_block(body)
+        # or reads the second definition of x only.
+        assert list(dfg.data_predecessors(2)) == [1]
+
+    def test_memory_ordering_edges(self):
+        dfg = memory_dfg()
+        # load #0 ... store #2 ... load #3: order edges keep program order.
+        kinds = {(u, v): dfg.graph.edges[u, v]["kind"]
+                 for u, v in dfg.graph.edges}
+        assert kinds.get((0, 2)) in ("data", "order")
+        assert kinds.get((2, 3)) == "order"
+
+    def test_producer_map(self):
+        dfg = chain_dfg(2)
+        assert set(dfg.producer_of.values()) == {0, 1}
+
+
+class TestInOutValues:
+    def test_chain_in_out(self):
+        dfg = chain_dfg(4)
+        members = {1, 2}
+        ins = input_values(dfg, members)
+        outs = output_values(dfg, members)
+        assert len(ins) == 2          # chain value from #0 + external 'b'
+        assert len(outs) == 1
+
+    def test_whole_graph_inputs_are_block_inputs(self):
+        dfg = diamond_dfg()
+        ins = input_values(dfg, set(dfg.nodes))
+        assert ins == {"a", "b", "c", "d"}
+
+    def test_internal_value_not_output(self):
+        dfg = chain_dfg(3)
+        outs = output_values(dfg, {0, 1, 2})
+        assert len(outs) == 1         # only the final value escapes
+
+    def test_multi_consumer_output(self):
+        def body(b):
+            t = b.addu("a", "b")
+            u = b.xor(t, "c")
+            v = b.or_(t, "d")
+            return b.and_(u, v)
+        dfg = dfg_from_block(body)
+        outs = output_values(dfg, {0, 1})     # t escapes to #2
+        assert len(outs) == 2
+
+
+class TestConvexity:
+    def test_chain_convex(self):
+        dfg = chain_dfg(4)
+        assert is_convex(dfg, {1, 2, 3})
+
+    def test_gap_not_convex(self):
+        dfg = chain_dfg(4)
+        assert not is_convex(dfg, {0, 2})
+
+    def test_diamond_sides_convex(self):
+        dfg = diamond_dfg()
+        assert is_convex(dfg, {0, 3})
+
+    def test_singleton_and_empty_convex(self):
+        dfg = chain_dfg(3)
+        assert is_convex(dfg, {1})
+        assert is_convex(dfg, set())
+
+    def test_reconvergent_violation(self):
+        def body(b):
+            t = b.addu("a", "b")      # 0
+            u = b.xor(t, "c")         # 1
+            v = b.or_(t, "d")         # 2
+            return b.and_(u, v)       # 3
+        dfg = dfg_from_block(body)
+        assert not is_convex(dfg, {0, 3})
+        assert is_convex(dfg, {0, 1, 2, 3})
+
+
+class TestLegality:
+    def test_memory_rule(self):
+        dfg = memory_dfg()
+        loads = [uid for uid in dfg.nodes if dfg.op(uid).is_memory]
+        assert violates_memory_rule(dfg, loads)
+        constraints = ISEConstraints()
+        assert not is_legal(dfg, set(loads), constraints)
+
+    def test_port_limits(self):
+        dfg = wide_dfg(6)
+        constraints = ISEConstraints(n_in=2, n_out=1)
+        everything = set(dfg.nodes)
+        assert not is_legal(dfg, everything, constraints)
+
+    def test_check_candidate_messages(self):
+        dfg = chain_dfg(3)
+        with pytest.raises(ConstraintError):
+            check_candidate(dfg, set(), ISEConstraints())
+        with pytest.raises(ConstraintError):
+            check_candidate(dfg, {0, 2}, ISEConstraints())   # non-convex
+
+    def test_legal_chain(self):
+        dfg = chain_dfg(3)
+        assert is_legal(dfg, {0, 1, 2}, ISEConstraints(n_in=4, n_out=2))
+
+
+class TestTiming:
+    def test_asap_chain(self):
+        dfg = chain_dfg(4)
+        asap = asap_schedule(dfg, UNIT)
+        assert [asap[uid] for uid in dfg.nodes] == [0, 1, 2, 3]
+
+    def test_alap_horizon(self):
+        dfg = chain_dfg(3)
+        alap = alap_schedule(dfg, UNIT, horizon=5)
+        assert alap[2] == 4
+        assert alap[0] == 2
+
+    def test_slack_zero_on_critical(self):
+        dfg = diamond_dfg()
+        s = slack(dfg, UNIT)
+        crit = critical_nodes(dfg, UNIT)
+        assert all(s[uid] == 0 for uid in crit)
+        assert any(s[uid] > 0 for uid in dfg.nodes if uid not in crit)
+
+    def test_critical_path_of_diamond(self):
+        dfg = diamond_dfg()
+        crit = critical_nodes(dfg, UNIT)
+        # The long chain 0 -> 3 -> (5,6) -> 7 -> 8 is critical.
+        assert {0, 3, 7, 8} <= crit
+        # The short side chain is not.
+        assert 2 not in crit and 4 not in crit
+
+    def test_longest_path_cycles(self):
+        assert longest_path_cycles(chain_dfg(5), UNIT) == 5
+
+    def test_multicycle_latency(self):
+        dfg = chain_dfg(3)
+        latency = lambda uid: 2
+        assert longest_path_cycles(dfg, latency) == 6
+
+
+class TestSubgraphUtilities:
+    def test_grown_group_respects_software_blockers(self):
+        dfg = chain_dfg(5)
+        group = grown_group(dfg, 2, chosen_hw={1, 3})
+        assert group == {1, 2, 3}
+
+    def test_grown_group_grows_both_directions(self):
+        dfg = diamond_dfg()
+        group = grown_group(dfg, 3, chosen_hw={0, 5, 6, 7})
+        assert group == {0, 3, 5, 6, 7}
+
+    def test_hardware_components(self):
+        dfg = chain_dfg(5)
+        comps = hardware_components(dfg, {0, 1, 3, 4})
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [3, 4]]
+
+    def test_pattern_graph_labels(self):
+        dfg = chain_dfg(3, op="xor")
+        pattern = pattern_graph(dfg, {0, 1})
+        assert pattern.number_of_nodes() == 2
+        assert all(d["opcode"] == "xor"
+                   for __, d in pattern.nodes(data=True))
+
+    def test_same_pattern_isomorphism(self):
+        dfg = chain_dfg(4)
+        p1 = pattern_graph(dfg, {0, 1})
+        p2 = pattern_graph(dfg, {2, 3})
+        assert same_pattern(p1, p2)
+
+    def test_contains_pattern(self):
+        dfg = chain_dfg(4)
+        big = pattern_graph(dfg, {0, 1, 2})
+        small = pattern_graph(dfg, {1, 2})
+        assert contains_pattern(big, small)
+        assert not contains_pattern(small, big)
+
+    def test_find_matches_in_repeated_code(self):
+        from repro.graph import find_matches
+
+        def body(b):
+            x1 = b.addu("a", "b")
+            y1 = b.xor(x1, "c")
+            x2 = b.addu("c", "d")
+            y2 = b.xor(x2, "a")
+            return b.or_(y1, y2)
+        dfg = dfg_from_block(body)
+        pattern = pattern_graph(dfg, {0, 1})
+        matches = find_matches(dfg, pattern)
+        assert {frozenset(m) for m in matches} >= {
+            frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_find_matches_respects_exclude(self):
+        from repro.graph import find_matches
+        dfg = chain_dfg(4)
+        pattern = pattern_graph(dfg, {0, 1})
+        matches = find_matches(dfg, pattern, exclude={0, 1})
+        assert all(not (set(m) & {0, 1}) for m in matches)

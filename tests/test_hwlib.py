@@ -1,0 +1,187 @@
+"""Tests for the hardware library: database, options, ASFU, technology."""
+
+import pytest
+
+from repro.errors import ConfigError, UnknownOpcodeError
+from repro.hwlib import (
+    ASFU,
+    DEFAULT_DATABASE,
+    DEFAULT_TECHNOLOGY,
+    HardwareDatabase,
+    HardwareOption,
+    IOTable,
+    SoftwareOption,
+    Technology,
+    default_io_table,
+    subgraph_area,
+    subgraph_cycles,
+    subgraph_delay_ns,
+)
+from repro.isa import Operation
+
+from conftest import chain_dfg
+
+
+class TestTechnology:
+    def test_paper_defaults(self):
+        assert DEFAULT_TECHNOLOGY.clock_mhz == 100.0
+        assert DEFAULT_TECHNOLOGY.cycle_ns == 10.0
+        assert DEFAULT_TECHNOLOGY.node_um == 0.13
+
+    def test_cycles_for_delay(self):
+        t = DEFAULT_TECHNOLOGY
+        assert t.cycles_for_delay(0.5) == 1
+        assert t.cycles_for_delay(10.0) == 1
+        assert t.cycles_for_delay(10.01) == 2
+        assert t.cycles_for_delay(25.0) == 3
+
+    def test_zero_delay_costs_one_cycle(self):
+        assert DEFAULT_TECHNOLOGY.cycles_for_delay(0.0) == 1
+
+    def test_custom_clock(self):
+        fast = Technology(clock_mhz=200)
+        assert fast.cycle_ns == 5.0
+        assert fast.cycles_for_delay(10.0) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            Technology(clock_mhz=0)
+        with pytest.raises(ConfigError):
+            Technology(node_um=-1)
+
+
+class TestDatabase:
+    def test_table_5_1_1_values(self):
+        assert DEFAULT_DATABASE.design_points("addu") == [
+            (4.04, 926.33), (2.12, 2075.35)]
+        assert DEFAULT_DATABASE.design_points("mult") == [(5.77, 84428.0)]
+        assert DEFAULT_DATABASE.design_points("sll") == [(3.00, 400.0)]
+
+    def test_immediate_forms_share_group(self):
+        assert (DEFAULT_DATABASE.design_points("addi")
+                == DEFAULT_DATABASE.design_points("add"))
+        assert (DEFAULT_DATABASE.design_points("slti")
+                == DEFAULT_DATABASE.design_points("slt"))
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownOpcodeError):
+            DEFAULT_DATABASE.design_points("lw")
+
+    def test_hardware_options_labels(self):
+        options = DEFAULT_DATABASE.hardware_options("addu")
+        assert [o.label for o in options] == ["HW-1", "HW-2"]
+        single = DEFAULT_DATABASE.hardware_options("xor")
+        assert [o.label for o in single] == ["HW"]
+
+    def test_hardware_options_for_memory_empty(self):
+        assert DEFAULT_DATABASE.hardware_options("lw") == []
+        assert DEFAULT_DATABASE.hardware_options("nosuch") == []
+
+    def test_rows_cover_eleven_groups(self):
+        assert len(list(DEFAULT_DATABASE.rows())) == 11
+
+    def test_custom_database(self):
+        db = HardwareDatabase({"addu": [(1.0, 10.0)]})
+        assert db.has("addu")
+        assert not db.has("subu")
+        assert db.opcode_names() == ["addu"]
+
+
+class TestOptions:
+    def test_software_option(self):
+        opt = SoftwareOption("SW", cycles=2, fu_kind="mul")
+        assert opt.is_software and not opt.is_hardware
+        assert opt.area == 0.0
+        assert opt.cycles == 2
+
+    def test_hardware_option_validation(self):
+        with pytest.raises(ConfigError):
+            HardwareOption("HW", delay_ns=0, area=10)
+        with pytest.raises(ConfigError):
+            HardwareOption("HW", delay_ns=1.0, area=-1)
+
+    def test_option_equality(self):
+        a = HardwareOption("HW-1", 2.0, 100.0)
+        b = HardwareOption("HW-1", 2.0, 100.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != HardwareOption("HW-2", 2.0, 100.0)
+
+    def test_io_table_ordering(self):
+        table = IOTable(
+            software=[SoftwareOption("SW")],
+            hardware=[HardwareOption("HW-1", 4.0, 900.0),
+                      HardwareOption("HW-2", 2.0, 2000.0)])
+        assert [o.label for o in table] == ["SW", "HW-1", "HW-2"]
+        assert table.has_hardware
+        assert table.fastest_hardware().label == "HW-2"
+        assert table.cheapest_hardware().label == "HW-1"
+
+    def test_io_table_needs_software(self):
+        with pytest.raises(ConfigError):
+            IOTable(software=[], hardware=[HardwareOption("H", 1.0, 1.0)])
+
+    def test_io_table_duplicate_labels(self):
+        with pytest.raises(ConfigError):
+            IOTable(software=[SoftwareOption("X"), SoftwareOption("X")])
+
+    def test_default_io_table_groupable(self):
+        op = Operation(0, "addu", sources=("x", "y"), dests=("z",))
+        table = default_io_table(op, DEFAULT_DATABASE)
+        assert len(table.software) == 1
+        assert len(table.hardware) == 2
+
+    def test_default_io_table_memory(self):
+        op = Operation(0, "lw", sources=("p",), dests=("v",))
+        table = default_io_table(op, DEFAULT_DATABASE)
+        assert not table.has_hardware
+        assert table.software[0].fu_kind == "mem"
+
+    def test_default_io_table_multiply_unit(self):
+        op = Operation(0, "mult", sources=("x", "y"), dests=("z",))
+        table = default_io_table(op, DEFAULT_DATABASE)
+        assert table.software[0].fu_kind == "mul"
+
+
+class TestASFU:
+    def _options(self, dfg, delay=3.0, area=100.0):
+        return {uid: HardwareOption("HW", delay, area) for uid in dfg.nodes}
+
+    def test_chain_delay_is_sum(self):
+        dfg = chain_dfg(4)
+        options = self._options(dfg)
+        delay = subgraph_delay_ns(dfg.graph, dfg.nodes,
+                                  options.__getitem__)
+        assert delay == pytest.approx(12.0)
+
+    def test_area_is_sum(self):
+        dfg = chain_dfg(3)
+        options = self._options(dfg)
+        assert subgraph_area(dfg.nodes, options.__getitem__) == 300.0
+
+    def test_cycles_rounding(self):
+        dfg = chain_dfg(4)
+        options = self._options(dfg, delay=3.0)
+        cycles = subgraph_cycles(dfg.graph, dfg.nodes, options.__getitem__)
+        assert cycles == 2          # 12 ns at 10 ns/cycle
+
+    def test_parallel_nodes_delay_is_max(self):
+        from conftest import wide_dfg
+        dfg = wide_dfg(4)
+        # Take only the four independent top nodes.
+        roots = [uid for uid in dfg.nodes
+                 if not list(dfg.predecessors(uid))][:2]
+        options = self._options(dfg, delay=5.0)
+        delay = subgraph_delay_ns(dfg.graph, roots, options.__getitem__)
+        assert delay == pytest.approx(5.0)
+
+    def test_asfu_object(self):
+        dfg = chain_dfg(2)
+        options = self._options(dfg, delay=6.0, area=50.0)
+        asfu = ASFU(dfg.graph, dfg.nodes, options)
+        assert asfu.cycles == 2
+        assert asfu.area == 100.0
+
+    def test_empty_set_rejected(self):
+        dfg = chain_dfg(2)
+        with pytest.raises(ConfigError):
+            subgraph_delay_ns(dfg.graph, [], lambda n: None)

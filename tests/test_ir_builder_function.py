@@ -1,0 +1,178 @@
+"""Tests for IR instructions, basic blocks, functions and the builder."""
+
+import pytest
+
+from repro.errors import IRError, VerificationError
+from repro.ir import FunctionBuilder, IRFunction, IRInstr
+
+
+class TestIRInstr:
+    def test_classification(self):
+        assert IRInstr("beq", sources=("a", "b"),
+                       targets=("x", "y")).is_conditional
+        assert IRInstr("j", targets=("x",)).is_branch
+        assert IRInstr("ret").is_return
+        assert IRInstr("lw", dest="v", sources=("p",), imm=0).is_load
+        assert IRInstr("sw", sources=("v", "p"), imm=0).is_store
+        assert IRInstr("li", dest="x", imm=1).is_constant
+        assert IRInstr("call", dest="r", callee="f", args=("a",)).is_call
+
+    def test_def_use(self):
+        instr = IRInstr("addu", dest="z", sources=("x", "y"))
+        assert instr.defs() == ("z",)
+        assert instr.uses() == ("x", "y")
+        call = IRInstr("call", dest="r", callee="f", args=("p", "q"))
+        assert call.uses() == ("p", "q")
+
+    def test_rename(self):
+        instr = IRInstr("addu", dest="z", sources=("x", "y"))
+        renamed = instr.rename({"x": "x1", "z": "z1"})
+        assert renamed.dest == "z1"
+        assert renamed.sources == ("x1", "y")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IRError):
+            IRInstr("blorp")
+
+    def test_pretty_forms(self):
+        assert "addu" in IRInstr("addu", dest="z", sources=("x", "y")).pretty()
+        assert "[p+4]" in IRInstr("lw", dest="v", sources=("p",),
+                                  imm=4).pretty()
+        assert "call" in IRInstr("call", dest="r", callee="f").pretty()
+
+
+class TestBasicBlockRules:
+    def test_terminator_goes_last(self):
+        func = IRFunction("f")
+        block = func.add_block("entry")
+        with pytest.raises(IRError):
+            block.append(IRInstr("ret"))
+        block.terminate(IRInstr("ret"))
+        with pytest.raises(IRError):
+            block.append(IRInstr("li", dest="x", imm=0))
+
+    def test_double_terminate(self):
+        func = IRFunction("f")
+        block = func.add_block("entry")
+        block.terminate(IRInstr("ret"))
+        with pytest.raises(IRError):
+            block.terminate(IRInstr("ret"))
+
+    def test_successors(self):
+        func = IRFunction("f")
+        a = func.add_block("a")
+        func.add_block("b")
+        func.add_block("c")
+        a.terminate(IRInstr("bne", sources=("x", "y"), targets=("b", "c")))
+        assert a.successors() == ("b", "c")
+
+
+class TestIRFunction:
+    def _two_block(self):
+        func = IRFunction("f", params=("x",))
+        entry = func.add_block("entry")
+        entry.append(IRInstr("li", dest="y", imm=1))
+        entry.terminate(IRInstr("j", targets=("exit",)))
+        exit_ = func.add_block("exit")
+        exit_.terminate(IRInstr("ret", sources=("y",)))
+        return func
+
+    def test_verify_ok(self):
+        self._two_block().verify()
+
+    def test_verify_unterminated(self):
+        func = IRFunction("f")
+        func.add_block("entry")
+        with pytest.raises(VerificationError):
+            func.verify()
+
+    def test_verify_unknown_target(self):
+        func = IRFunction("f")
+        entry = func.add_block("entry")
+        entry.terminate(IRInstr("j", targets=("nowhere",)))
+        with pytest.raises(VerificationError):
+            func.verify()
+
+    def test_duplicate_label(self):
+        func = IRFunction("f")
+        func.add_block("a")
+        with pytest.raises(IRError):
+            func.add_block("a")
+
+    def test_cfg_edges_and_preds(self):
+        func = self._two_block()
+        assert list(func.cfg_edges()) == [("entry", "exit")]
+        assert func.predecessors()["exit"] == ["entry"]
+
+    def test_clone_is_deep(self):
+        func = self._two_block()
+        copy = func.clone()
+        copy.block("entry").body.clear()
+        assert len(func.block("entry").body) == 1
+
+    def test_virtual_registers(self):
+        func = self._two_block()
+        assert func.virtual_registers() == {"x", "y"}
+
+    def test_remove_entry_rejected(self):
+        func = self._two_block()
+        with pytest.raises(IRError):
+            func.remove_block("entry")
+
+
+class TestFunctionBuilder:
+    def test_expression_composition(self):
+        b = FunctionBuilder("f", params=("a", "b"))
+        b.label("entry")
+        t = b.addu("a", "b")
+        u = b.xor(t, "a")
+        b.ret(u)
+        func = b.finish()
+        assert len(func.block("entry").body) == 2
+
+    def test_fresh_names_unique(self):
+        b = FunctionBuilder("f")
+        names = {b.fresh() for __ in range(100)}
+        assert len(names) == 100
+
+    def test_emit_without_block(self):
+        b = FunctionBuilder("f")
+        with pytest.raises(IRError):
+            b.li(0)
+
+    def test_branches_close_block(self):
+        b = FunctionBuilder("f", params=("a",))
+        b.label("entry")
+        b.jump("next")
+        with pytest.raises(IRError):
+            b.li(0)
+        b.label("next")
+        b.ret("a")
+        b.finish()
+
+    def test_not_is_nor_idiom(self):
+        b = FunctionBuilder("f", params=("a",))
+        b.label("entry")
+        t = b.not_("a")
+        b.ret(t)
+        func = b.finish()
+        instr = func.block("entry").body[0]
+        assert instr.op == "nor"
+        assert instr.sources == ("a", "a")
+
+    def test_memory_helpers(self):
+        b = FunctionBuilder("f", params=("p",))
+        b.label("entry")
+        v = b.lw("p", offset=8)
+        b.sw(v, "p", offset=12)
+        b.ret(v)
+        func = b.finish()
+        load, store = func.block("entry").body
+        assert load.imm == 8 and store.imm == 12
+
+    def test_annotations(self):
+        b = FunctionBuilder("f", params=("a",))
+        b.label("entry")
+        b.annotate("k", 42)
+        b.ret("a")
+        assert b.finish().block("entry").annotations == {"k": 42}

@@ -1,0 +1,248 @@
+"""Tests for the IR interpreter: 32-bit semantics, memory, profiling."""
+
+import pytest
+
+from repro.errors import InterpreterError, StepLimitExceeded, TrapError
+from repro.ir import DataSegment, FunctionBuilder, Interpreter, Program, \
+    run_program
+
+_MASK = 0xFFFFFFFF
+
+
+def single_block_program(emit, params=("a", "b")):
+    """Program with one function whose block is built by ``emit``."""
+    b = FunctionBuilder("main", params=params)
+    b.label("entry")
+    result = emit(b)
+    b.ret(result)
+    program = Program("p")
+    program.add_function(b.finish())
+    return program
+
+
+def run_expr(emit, args=(), params=("a", "b")):
+    program = single_block_program(emit, params)
+    result, __, ___ = run_program(program, args=args)
+    return result
+
+
+class TestALUSemantics:
+    def test_wrapping_add(self):
+        assert run_expr(lambda b: b.addu("a", "b"),
+                        (0xFFFFFFFF, 2)) == 1
+
+    def test_wrapping_sub(self):
+        assert run_expr(lambda b: b.subu("a", "b"), (0, 1)) == _MASK
+
+    def test_signed_mult_low_bits(self):
+        assert run_expr(lambda b: b.mult("a", "b"),
+                        (0xFFFFFFFF, 3)) == (-3) & _MASK
+
+    def test_multu(self):
+        assert run_expr(lambda b: b.multu("a", "b"),
+                        (0x10000, 0x10000)) == 0
+
+    def test_logic(self):
+        assert run_expr(lambda b: b.and_("a", "b"), (0xF0, 0x3C)) == 0x30
+        assert run_expr(lambda b: b.or_("a", "b"), (0xF0, 0x0F)) == 0xFF
+        assert run_expr(lambda b: b.xor("a", "b"), (0xFF, 0x0F)) == 0xF0
+        assert run_expr(lambda b: b.nor("a", "b"), (0, 0)) == _MASK
+
+    def test_slt_signed_vs_unsigned(self):
+        assert run_expr(lambda b: b.slt("a", "b"), (0xFFFFFFFF, 0)) == 1
+        assert run_expr(lambda b: b.sltu("a", "b"), (0xFFFFFFFF, 0)) == 0
+
+    def test_shifts(self):
+        assert run_expr(lambda b: b.sll("a", 4), (0x1,)," a".split()) == 0x10
+        assert run_expr(lambda b: b.srl("a", 4),
+                        (0x80000000,), ("a",)) == 0x08000000
+        assert run_expr(lambda b: b.sra("a", 4),
+                        (0x80000000,), ("a",)) == 0xF8000000
+
+    def test_variable_shift_mod_32(self):
+        assert run_expr(lambda b: b.sllv("a", "b"), (1, 33)) == 2
+
+    def test_immediates(self):
+        assert run_expr(lambda b: b.addiu("a", -1), (0,), ("a",)) == _MASK
+        assert run_expr(lambda b: b.slti("a", 5), (4,), ("a",)) == 1
+
+    def test_li_and_lui(self):
+        def emit(b):
+            t = b.li(0x12345678)
+            return t
+        assert run_expr(emit, (), ()) == 0x12345678
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not(self):
+        def build(op, sources_vals):
+            b = FunctionBuilder("main", params=("x", "y"))
+            b.label("entry")
+            getattr(b, op)("x", "y", "yes", "no") if op in ("beq", "bne") \
+                else getattr(b, op)("x", "yes", "no")
+            b.label("yes")
+            one = b.li(1)
+            b.ret(one)
+            b.label("no")
+            zero = b.li(0)
+            b.ret(zero)
+            program = Program("p")
+            program.add_function(b.finish())
+            result, __, ___ = run_program(program, args=sources_vals)
+            return result
+
+        assert build("beq", (5, 5)) == 1
+        assert build("beq", (5, 6)) == 0
+        assert build("bne", (5, 6)) == 1
+        assert build("blez", (0, 0)) == 1
+        assert build("bgtz", (0xFFFFFFFF, 0)) == 0   # -1 not > 0
+        assert build("bltz", (0xFFFFFFFF, 0)) == 1
+
+    def test_loop_profile_counts(self):
+        b = FunctionBuilder("main", params=())
+        b.label("entry")
+        b.li(0, dest="i")
+        b.li(0, dest="zero")
+        b.jump("loop")
+        b.label("loop")
+        b.addiu("i", 1, dest="i")
+        t = b.slti("i", 7)
+        b.bne(t, "zero", "loop", "exit")
+        b.label("exit")
+        b.ret("i")
+        program = Program("p")
+        program.add_function(b.finish())
+        result, profile, __ = run_program(program)
+        assert result == 7
+        assert profile.count("main", "loop") == 7
+        assert profile.count("main", "entry") == 1
+
+    def test_undefined_register_read(self):
+        def emit(b):
+            return b.addu("nope", "a")
+        with pytest.raises(InterpreterError):
+            run_expr(emit, (1, 2))
+
+    def test_step_limit(self):
+        b = FunctionBuilder("main", params=())
+        b.label("spin")
+        b.jump("spin")
+        program = Program("p")
+        program.add_function(b.finish())
+        with pytest.raises(StepLimitExceeded):
+            run_program(program, step_limit=100)
+
+
+class TestMemory:
+    def test_word_roundtrip(self):
+        def emit(b):
+            addr = b.li(0x100)
+            val = b.li(0xDEADBEEF)
+            b.sw(val, addr)
+            return b.lw(addr)
+        assert run_expr(emit, (), ()) == 0xDEADBEEF
+
+    def test_little_endian_bytes(self):
+        def emit(b):
+            addr = b.li(0x100)
+            val = b.li(0x11223344)
+            b.sw(val, addr)
+            return b.lbu(addr)
+        assert run_expr(emit, (), ()) == 0x44
+
+    def test_halfword(self):
+        def emit(b):
+            addr = b.li(0x100)
+            val = b.li(0xABCD)
+            b.sh(val, addr)
+            return b.lhu(addr)
+        assert run_expr(emit, (), ()) == 0xABCD
+
+    def test_unaligned_word_traps(self):
+        def emit(b):
+            addr = b.li(0x101)
+            return b.lw(addr)
+        with pytest.raises(TrapError):
+            run_expr(emit, (), ())
+
+    def test_data_segment_image(self):
+        data = DataSegment(base=0x200)
+        base = data.place_words("tab", [1, 2, 3])
+        b = FunctionBuilder("main", params=("tab",))
+        b.label("entry")
+        v = b.lw("tab", offset=8)
+        b.ret(v)
+        program = Program("p", data=data)
+        program.add_function(b.finish())
+        result, __, ___ = run_program(program, args=(base,))
+        assert result == 3
+
+    def test_data_segment_symbols(self):
+        data = DataSegment()
+        a = data.place_words("a", [0])
+        b = data.place_bytes("b", b"\x01\x02")
+        assert data.address_of("a") == a
+        assert data.address_of("b") == b
+        assert data.end > b
+
+
+class TestCalls:
+    def test_call_and_return(self):
+        callee = FunctionBuilder("double", params=("x",))
+        callee.label("entry")
+        t = callee.addu("x", "x")
+        callee.ret(t)
+
+        caller = FunctionBuilder("main", params=("v",))
+        caller.label("entry")
+        r = caller.call("double", ("v",))
+        r2 = caller.call("double", (r,))
+        caller.ret(r2)
+
+        program = Program("p")
+        program.add_function(caller.finish())
+        program.add_function(callee.finish())
+        result, profile, __ = run_program(program, args=(5,))
+        assert result == 20
+        assert profile.count("double", "entry") == 2
+
+    def test_unknown_callee_rejected(self):
+        caller = FunctionBuilder("main", params=())
+        caller.label("entry")
+        r = caller.call("ghost", ())
+        caller.ret(r)
+        program = Program("p")
+        program.add_function(caller.finish())
+        with pytest.raises(Exception):
+            run_program(program)
+
+    def test_recursion_depth_guard(self):
+        f = FunctionBuilder("f", params=("x",))
+        f.label("entry")
+        r = f.call("f", ("x",))
+        f.ret(r)
+        program = Program("p")
+        program.add_function(f.finish())
+        with pytest.raises(InterpreterError):
+            run_program(program, args=(1,))
+
+
+class TestProfile:
+    def test_merge(self):
+        from repro.ir.interp import Profile
+        a, b = Profile(), Profile()
+        a.record("f", "x", 3)
+        b.record("f", "x", 3)
+        b.record("f", "y", 1)
+        a.merge(b)
+        assert a.count("f", "x") == 2
+        assert a.count("f", "y") == 1
+        assert a.total() == 3
+
+    def test_items_hottest_first(self):
+        from repro.ir.interp import Profile
+        p = Profile()
+        for __ in range(3):
+            p.record("f", "hot", 1)
+        p.record("f", "cold", 1)
+        assert p.items()[0][0] == ("f", "hot")

@@ -1,0 +1,393 @@
+"""Tests for the optimisation passes and pipelines."""
+
+import pytest
+
+from repro.ir import FunctionBuilder, Program, liveness, run_program
+from repro.ir.passes import (
+    constant_fold,
+    dead_code_elimination,
+    inline_calls,
+    local_cse,
+    optimize,
+    strength_reduction,
+    unroll_loops,
+)
+
+
+def one_block(emit, params=("a", "b")):
+    b = FunctionBuilder("f", params=params)
+    b.label("entry")
+    result = emit(b)
+    b.ret(result)
+    return b.finish()
+
+
+def ops_of(func, label="entry"):
+    return [i.op for i in func.block(label).body]
+
+
+class TestConstantFold:
+    def test_fold_binary_constants(self):
+        func = one_block(lambda b: b.addu(b.li(4), b.li(5)))
+        constant_fold(func)
+        folded = func.block("entry").body[-1]
+        assert folded.op == "li" and folded.imm == 9
+
+    def test_fold_to_immediate_form(self):
+        def emit(b):
+            c = b.li(12)
+            return b.addu("a", c)
+        func = one_block(emit)
+        constant_fold(func)
+        assert func.block("entry").body[-1].op == "addiu"
+
+    def test_wrapping_fold(self):
+        func = one_block(lambda b: b.addu(b.li(0xFFFFFFFF), b.li(2)))
+        constant_fold(func)
+        assert func.block("entry").body[-1].imm == 1
+
+    def test_add_zero_becomes_move(self):
+        func = one_block(lambda b: b.addiu("a", 0))
+        constant_fold(func)
+        assert func.block("entry").body[-1].op == "move"
+
+    def test_large_immediate_not_encoded(self):
+        def emit(b):
+            c = b.li(0x123456)
+            return b.addu("a", c)
+        func = one_block(emit)
+        constant_fold(func)
+        # 0x123456 does not fit a 16-bit signed immediate.
+        assert func.block("entry").body[-1].op == "addu"
+
+    def test_semantics_preserved(self):
+        def emit(b):
+            c1 = b.li(7)
+            c2 = b.li(9)
+            s = b.mult(c1, c2)
+            return b.addu(s, "a")
+        func = one_block(emit)
+        program = Program("p")
+        program.add_function(func)
+        before, __, ___ = run_program(program, args=(100, 0))
+        constant_fold(func)
+        after, __, ___ = run_program(program, args=(100, 0))
+        assert before == after == 163
+
+
+class TestCSE:
+    def test_duplicate_expression_removed(self):
+        def emit(b):
+            x = b.addu("a", "b")
+            y = b.addu("a", "b")
+            return b.xor(x, y)
+        func = one_block(emit)
+        local_cse(func)
+        assert ops_of(func).count("addu") == 1
+
+    def test_commutative_match(self):
+        def emit(b):
+            x = b.addu("a", "b")
+            y = b.addu("b", "a")
+            return b.xor(x, y)
+        func = one_block(emit)
+        local_cse(func)
+        assert ops_of(func).count("addu") == 1
+
+    def test_non_commutative_not_matched(self):
+        def emit(b):
+            x = b.subu("a", "b")
+            y = b.subu("b", "a")
+            return b.xor(x, y)
+        func = one_block(emit)
+        local_cse(func)
+        assert ops_of(func).count("subu") == 2
+
+    def test_redefinition_blocks_reuse(self):
+        def emit(b):
+            x = b.addu("a", "b", dest="x")
+            b.addiu("a", 1, dest="a")
+            y = b.addu("a", "b", dest="y")
+            return b.xor(x, y)
+        func = one_block(emit)
+        local_cse(func)
+        assert ops_of(func).count("addu") == 2
+
+    def test_load_cse_until_store(self):
+        def emit(b):
+            v1 = b.lw("a")
+            v2 = b.lw("a")
+            b.sw(v1, "a", offset=4)
+            v3 = b.lw("a")
+            x = b.addu(v1, v2)
+            return b.addu(x, v3)
+        func = one_block(emit)
+        local_cse(func)
+        assert ops_of(func).count("lw") == 2   # v2 folded, v3 reloaded
+
+    def test_swap_idiom_preserved(self):
+        def emit(b):
+            b.move("a", dest="tmp")
+            b.move("b", dest="a")
+            b.move("tmp", dest="b")
+            return b.subu("a", "b")
+        func = one_block(emit)
+        program = Program("p")
+        program.add_function(func)
+        before, __, ___ = run_program(program, args=(10, 3))
+        local_cse(func)
+        after, __, ___ = run_program(program, args=(10, 3))
+        assert before == after == ((3 - 10) & 0xFFFFFFFF)
+
+
+class TestDCE:
+    def test_dead_instruction_removed(self):
+        def emit(b):
+            b.addu("a", "b", dest="unused")
+            return b.xor("a", "b")
+        func = one_block(emit)
+        dead_code_elimination(func)
+        assert "addu" not in ops_of(func)
+
+    def test_transitively_dead_chain(self):
+        def emit(b):
+            t1 = b.addu("a", "b")
+            b.xor(t1, "a", dest="dead")
+            return b.or_("a", "b")
+        func = one_block(emit)
+        dead_code_elimination(func)
+        assert ops_of(func) == ["or"]
+
+    def test_store_never_removed(self):
+        def emit(b):
+            v = b.addu("a", "b")
+            b.sw(v, "a")
+            return b.li(0)
+        func = one_block(emit)
+        dead_code_elimination(func)
+        assert "sw" in ops_of(func)
+        assert "addu" in ops_of(func)      # feeds the store
+
+    def test_cross_block_liveness(self):
+        b = FunctionBuilder("f", params=("a",))
+        b.label("entry")
+        b.addu("a", "a", dest="t")
+        b.jump("exit")
+        b.label("exit")
+        b.ret("t")
+        func = b.finish()
+        dead_code_elimination(func)
+        assert ops_of(func, "entry") == ["addu"]
+
+
+class TestStrengthReduction:
+    def test_mult_by_power_of_two(self):
+        def emit(b):
+            c = b.li(8)
+            return b.mult("a", c)
+        func = one_block(emit)
+        strength_reduction(func)
+        reduced = func.block("entry").body[-1]
+        assert reduced.op == "sll" and reduced.imm == 3
+
+    def test_mult_by_one_and_zero(self):
+        def emit(b):
+            one = b.li(1)
+            zero = b.li(0)
+            x = b.mult("a", one)
+            y = b.mult("b", zero)
+            return b.or_(x, y)
+        func = one_block(emit)
+        strength_reduction(func)
+        ops = ops_of(func)
+        assert "mult" not in ops
+        assert "move" in ops
+
+    def test_same_operand_identities(self):
+        def emit(b):
+            x = b.xor("a", "a")
+            y = b.and_("b", "b")
+            return b.or_(x, y)
+        func = one_block(emit)
+        strength_reduction(func)
+        ops = ops_of(func)
+        assert "xor" not in ops and "and" not in ops
+
+    def test_non_power_of_two_kept(self):
+        def emit(b):
+            c = b.li(6)
+            return b.mult("a", c)
+        func = one_block(emit)
+        strength_reduction(func)
+        assert "mult" in ops_of(func)
+
+
+class TestUnroll:
+    def _counted_loop(self, trips, body_ops=1):
+        b = FunctionBuilder("f", params=())
+        b.label("entry")
+        b.li(0, dest="i")
+        b.li(0, dest="acc")
+        b.li(0, dest="zero")
+        b.jump("loop")
+        b.label("loop")
+        for __ in range(body_ops):
+            b.addiu("acc", 3, dest="acc")
+        b.addiu("i", 1, dest="i")
+        t = b.slti("i", trips)
+        b.bne(t, "zero", "loop", "exit")
+        b.label("exit")
+        b.ret("acc")
+        return b.finish()
+
+    def test_unrolls_constant_loop(self):
+        func = self._counted_loop(8)
+        unroll_loops(func, factor=4)
+        assert func.block("loop").annotations["unrolled_by"] == 4
+        assert func.block("loop").annotations["trip_count"] == 8
+
+    def test_factor_divides_trip_count(self):
+        func = self._counted_loop(9)
+        unroll_loops(func, factor=4)
+        assert func.block("loop").annotations["unrolled_by"] == 3
+
+    def test_prime_trip_count_not_unrolled(self):
+        func = self._counted_loop(7)
+        unroll_loops(func, factor=4)
+        assert "unrolled_by" not in func.block("loop").annotations
+
+    def test_body_size_cap(self):
+        func = self._counted_loop(8, body_ops=50)
+        unroll_loops(func, factor=4, max_body=60)
+        assert "unrolled_by" not in func.block("loop").annotations
+
+    def test_idempotent(self):
+        func = self._counted_loop(8)
+        unroll_loops(func, factor=4)
+        size = len(func.block("loop").body)
+        unroll_loops(func, factor=4)
+        assert len(func.block("loop").body) == size
+
+    def test_semantics_preserved(self):
+        func = self._counted_loop(12)
+        program = Program("p")
+        program.add_function(func)
+        before, __, ___ = run_program(program)
+        unroll_loops(func, factor=4)
+        after, profile, ___ = run_program(program)
+        assert before == after == 36
+        assert profile.count("f", "loop") == 3
+
+    def test_variable_bound_not_unrolled(self):
+        b = FunctionBuilder("f", params=("n",))
+        b.label("entry")
+        b.li(0, dest="i")
+        b.li(0, dest="zero")
+        b.jump("loop")
+        b.label("loop")
+        b.addiu("i", 1, dest="i")
+        t = b.sltu("i", "n")
+        b.bne(t, "zero", "loop", "exit")
+        b.label("exit")
+        b.ret("i")
+        func = b.finish()
+        unroll_loops(func, factor=4)
+        assert "unrolled_by" not in func.block("loop").annotations
+
+
+class TestInline:
+    def _caller_callee(self):
+        callee = FunctionBuilder("helper", params=("x",))
+        callee.label("entry")
+        t = callee.addu("x", "x")
+        callee.ret(t)
+        caller = FunctionBuilder("main", params=("v",))
+        caller.label("entry")
+        r = caller.call("helper", ("v",))
+        r2 = caller.addiu(r, 1)
+        caller.ret(r2)
+        program = Program("p")
+        program.add_function(caller.finish())
+        program.add_function(callee.finish())
+        return program
+
+    def test_inline_removes_call(self):
+        program = self._caller_callee()
+        inline_calls(program)
+        main = program.function("main")
+        assert not any(i.is_call for i in main.instructions())
+
+    def test_inline_preserves_semantics(self):
+        program = self._caller_callee()
+        before, __, ___ = run_program(program, args=(21,))
+        inline_calls(program)
+        after, __, ___ = run_program(program, args=(21,))
+        assert before == after == 43
+
+    def test_recursive_not_inlined(self):
+        f = FunctionBuilder("f", params=("x",))
+        f.label("entry")
+        r = f.call("f", ("x",))
+        f.ret(r)
+        program = Program("p")
+        program.add_function(f.finish())
+        inline_calls(program)
+        assert any(i.is_call for i in program.function("f").instructions())
+
+
+class TestPipelines:
+    def test_o0_is_identity_modulo_clone(self):
+        program = self._simple_program()
+        optimized = optimize(program, "O0")
+        assert optimized is not program
+        assert [i.op for i in optimized.main.instructions()] == \
+            [i.op for i in program.main.instructions()]
+
+    def test_o3_preserves_results_on_all_workloads(self):
+        from repro.workloads import all_workloads
+        for workload in all_workloads():
+            program, args = workload.build()
+            optimized = optimize(program, "O3")
+            result, __, ___ = run_program(optimized, args=args)
+            assert result == workload.reference(), workload.name
+
+    def test_o3_shrinks_or_unrolls(self):
+        from repro.workloads import get_workload
+        program, __ = get_workload("crc32").build()
+        optimized = optimize(program, "O3")
+        loop = optimized.function("crc32").block("bit_loop")
+        assert loop.annotations.get("unrolled_by", 1) > 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            optimize(self._simple_program(), "O2")
+
+    @staticmethod
+    def _simple_program():
+        b = FunctionBuilder("main", params=("a",))
+        b.label("entry")
+        t = b.addu("a", "a")
+        b.ret(t)
+        program = Program("p")
+        program.add_function(b.finish())
+        return program
+
+
+class TestLivenessAnalysis:
+    def test_param_live_into_loop(self):
+        b = FunctionBuilder("f", params=("n",))
+        b.label("entry")
+        b.li(0, dest="i")
+        b.li(0, dest="zero")
+        b.jump("loop")
+        b.label("loop")
+        b.addiu("i", 1, dest="i")
+        t = b.sltu("i", "n")
+        b.bne(t, "zero", "loop", "exit")
+        b.label("exit")
+        b.ret("i")
+        func = b.finish()
+        live_in, live_out = liveness(func)
+        assert "n" in live_in["loop"]
+        assert "i" in live_out["entry"]
+        assert "i" in live_in["exit"]

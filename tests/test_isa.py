@@ -1,0 +1,122 @@
+"""Tests for the ISA layer: opcodes, operations, register file."""
+
+import pytest
+
+from repro.errors import ConfigError, UnknownOpcodeError
+from repro.isa import (
+    OpCategory,
+    Operation,
+    RegisterFile,
+    all_opcodes,
+    groupable_opcodes,
+    is_known,
+    opcode,
+)
+
+
+class TestOpcodes:
+    def test_lookup_known(self):
+        assert opcode("addu").name == "addu"
+        assert opcode("sll").category == OpCategory.SHIFT
+        assert opcode("mult").category == OpCategory.MULTIPLY
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(UnknownOpcodeError):
+            opcode("frobnicate")
+
+    def test_is_known(self):
+        assert is_known("xor")
+        assert not is_known("vadd")
+
+    def test_memory_ops_not_groupable(self):
+        for name in ("lw", "lb", "lbu", "lh", "lhu", "sw", "sh", "sb"):
+            assert opcode(name).is_memory
+            assert not opcode(name).groupable
+
+    def test_branches_not_groupable(self):
+        for name in ("beq", "bne", "blez", "bgtz", "j", "jr", "jal"):
+            assert opcode(name).is_control
+            assert not opcode(name).groupable
+
+    def test_ise_pseudo_opcode(self):
+        pseudo = opcode("ise")
+        assert pseudo.category == OpCategory.PSEUDO
+        assert not pseudo.groupable
+
+    def test_groupable_set_matches_table_5_1_1(self):
+        names = {op.name for op in groupable_opcodes()}
+        expected = {
+            "add", "addi", "addu", "addiu", "sub", "subu", "mult", "multu",
+            "and", "andi", "or", "ori", "xor", "xori", "nor",
+            "slt", "slti", "sltu", "sltiu",
+            "sll", "sllv", "srl", "srlv", "sra", "srav",
+        }
+        assert names == expected
+
+    def test_immediate_forms_read_one_register(self):
+        assert opcode("addiu").register_reads == 1
+        assert opcode("addu").register_reads == 2
+        assert opcode("sll").register_reads == 1
+
+    def test_equality_and_hash(self):
+        assert opcode("addu") == opcode("addu")
+        assert opcode("addu") != opcode("subu")
+        assert len({opcode("addu"), opcode("addu")}) == 1
+
+    def test_all_opcodes_sorted_and_unique(self):
+        names = [op.name for op in all_opcodes()]
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+
+class TestOperation:
+    def test_basic_fields(self):
+        op = Operation(3, "addu", sources=("x", "y"), dests=("z",))
+        assert op.uid == 3
+        assert op.name == "addu"
+        assert op.groupable
+        assert op.register_reads == 2
+        assert op.register_writes == 1
+
+    def test_identity_by_uid(self):
+        a = Operation(1, "addu", sources=("x", "y"), dests=("z",))
+        b = Operation(1, "subu", sources=("p", "q"), dests=("r",))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_string_opcode_lookup(self):
+        op = Operation(0, "lw", sources=("p",), dests=("v",))
+        assert op.is_memory
+        assert not op.groupable
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(UnknownOpcodeError):
+            Operation(0, "nosuch")
+
+    def test_pretty_contains_operands(self):
+        op = Operation(0, "addiu", sources=("x",), dests=("y",), immediate=4)
+        text = op.pretty()
+        assert "addiu" in text and "x" in text and "4" in text
+
+
+class TestRegisterFile:
+    def test_spec_roundtrip(self):
+        rf = RegisterFile.from_spec("6/3")
+        assert rf.read_ports == 6
+        assert rf.write_ports == 3
+        assert rf.spec == "6/3"
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigError):
+            RegisterFile.from_spec("six-three")
+
+    def test_zero_ports_rejected(self):
+        with pytest.raises(ConfigError):
+            RegisterFile(0, 1)
+        with pytest.raises(ConfigError):
+            RegisterFile(4, 0)
+
+    def test_equality(self):
+        assert RegisterFile(4, 2) == RegisterFile(4, 2)
+        assert RegisterFile(4, 2) != RegisterFile(6, 3)
+        assert len({RegisterFile(4, 2), RegisterFile(4, 2)}) == 1

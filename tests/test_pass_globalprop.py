@@ -1,0 +1,131 @@
+"""Tests for global (cross-block) constant propagation."""
+
+import pytest
+
+from repro.ir import FunctionBuilder, Program, run_program
+from repro.ir.passes import (
+    dead_code_elimination,
+    global_constant_propagation,
+    optimize,
+)
+
+
+def cross_block_function():
+    """Constant mask defined in entry, used in a later block."""
+    b = FunctionBuilder("f", params=("x",))
+    b.label("entry")
+    b.li(0xFF, dest="mask")
+    b.li(0, dest="zero")
+    t = b.slt("x", "zero")
+    b.bne(t, "zero", "neg", "pos")
+    b.label("neg")
+    r1 = b.and_("x", "mask")
+    b.ret(r1)
+    b.label("pos")
+    s = b.addu("x", "mask")
+    r2 = b.and_(s, "mask")
+    b.ret(r2)
+    return b.finish()
+
+
+class TestGlobalProp:
+    def test_cross_block_use_rewritten(self):
+        func = cross_block_function()
+        global_constant_propagation(func)
+        ops = [i.op for i in func.block("pos").body]
+        assert "addiu" in ops          # addu x, mask -> addiu x, 255
+        assert "andi" in ops
+
+    def test_defining_li_untouched_until_dce(self):
+        func = cross_block_function()
+        global_constant_propagation(func)
+        entry_ops = [i.op for i in func.block("entry").body]
+        assert entry_ops.count("li") == 2
+        dead_code_elimination(func)
+        entry_ops = [i.op for i in func.block("entry").body]
+        assert entry_ops.count("li") <= 1   # mask li now dead
+
+    def test_semantics_preserved(self):
+        func = cross_block_function()
+        program = Program("p")
+        program.add_function(func)
+        cases = [0, 5, 0x80000000, 0xFFFFFFFF]
+        before = [run_program(program, args=(x,))[0] for x in cases]
+        global_constant_propagation(func)
+        after = [run_program(program, args=(x,))[0] for x in cases]
+        assert before == after
+
+    def test_commutative_operand_swap(self):
+        b = FunctionBuilder("f", params=("x",))
+        b.label("entry")
+        b.li(7, dest="c")
+        b.jump("use")
+        b.label("use")
+        r = b.addu("c", "x")       # constant in the FIRST position
+        b.ret(r)
+        func = b.finish()
+        global_constant_propagation(func)
+        instr = func.block("use").body[0]
+        assert instr.op == "addiu"
+        assert instr.sources == ("x",)
+        assert instr.imm == 7
+
+    def test_non_commutative_first_operand_kept(self):
+        b = FunctionBuilder("f", params=("x",))
+        b.label("entry")
+        b.li(7, dest="c")
+        b.jump("use")
+        b.label("use")
+        r = b.subu("c", "x")       # 7 - x has no immediate form
+        b.ret(r)
+        func = b.finish()
+        global_constant_propagation(func)
+        assert func.block("use").body[0].op == "subu"
+
+    def test_redefined_register_not_propagated(self):
+        b = FunctionBuilder("f", params=("x",))
+        b.label("entry")
+        b.li(7, dest="c")
+        b.addiu("c", 1, dest="c")      # second def: not unique
+        b.jump("use")
+        b.label("use")
+        r = b.addu("x", "c")
+        b.ret(r)
+        func = b.finish()
+        global_constant_propagation(func)
+        assert func.block("use").body[0].op == "addu"
+
+    def test_move_of_constant_becomes_li(self):
+        b = FunctionBuilder("f", params=())
+        b.label("entry")
+        b.li(42, dest="c")
+        b.jump("use")
+        b.label("use")
+        b.move("c", dest="out")
+        b.ret("out")
+        func = b.finish()
+        global_constant_propagation(func)
+        instr = func.block("use").body[0]
+        assert instr.op == "li" and instr.imm == 42
+
+    def test_fully_constant_fold(self):
+        b = FunctionBuilder("f", params=())
+        b.label("entry")
+        b.li(6, dest="a")
+        b.li(7, dest="bb")
+        b.jump("use")
+        b.label("use")
+        r = b.mult("a", "bb")
+        b.ret(r)
+        func = b.finish()
+        global_constant_propagation(func)
+        instr = func.block("use").body[0]
+        assert instr.op == "li" and instr.imm == 42
+
+    def test_o3_still_correct_on_all_workloads(self):
+        from repro.workloads import all_workloads, extra_workloads
+        for workload in all_workloads() + extra_workloads():
+            program, args = workload.build()
+            optimized = optimize(program, "O3")
+            result, __, ___ = run_program(optimized, args=args)
+            assert result == workload.reference(), workload.name

@@ -1,0 +1,127 @@
+"""Tests for loop-invariant code motion."""
+
+import pytest
+
+from repro.ir import FunctionBuilder, Program, run_program
+from repro.ir.passes import (
+    loop_invariant_code_motion,
+    optimize,
+    unroll_loops,
+)
+
+
+def counted_loop_with_invariant():
+    """acc += (k*3 + 1) each of 10 trips; k*3+1 is invariant."""
+    b = FunctionBuilder("f", params=("k",))
+    b.label("entry")
+    b.li(0, dest="i")
+    b.li(0, dest="acc")
+    b.li(0, dest="zero")
+    b.jump("loop")
+    b.label("loop")
+    c3 = b.li(3)
+    prod = b.mult("k", c3)
+    inv = b.addiu(prod, 1)
+    b.addu("acc", inv, dest="acc")
+    b.addiu("i", 1, dest="i")
+    t = b.slti("i", 10)
+    b.bne(t, "zero", "loop", "exit")
+    b.label("exit")
+    b.ret("acc")
+    return b.finish()
+
+
+class TestLICM:
+    def test_invariant_hoisted_to_preheader(self):
+        func = counted_loop_with_invariant()
+        before = len(func.block("loop").body)
+        loop_invariant_code_motion(func)
+        assert func.has_block("loop.preheader")
+        assert len(func.block("loop").body) < before
+        pre_ops = [i.op for i in func.block("loop.preheader").body]
+        assert "mult" in pre_ops
+
+    def test_semantics_preserved(self):
+        func = counted_loop_with_invariant()
+        program = Program("p")
+        program.add_function(func)
+        before, __, ___ = run_program(program, args=(7,))
+        loop_invariant_code_motion(func)
+        after, profile, ___ = run_program(program, args=(7,))
+        assert before == after == 10 * (7 * 3 + 1)
+        assert profile.count("f", "loop.preheader") == 1
+        assert profile.count("f", "loop") == 10
+
+    def test_loop_carried_not_hoisted(self):
+        func = counted_loop_with_invariant()
+        loop_invariant_code_motion(func)
+        loop_ops = [i.op for i in func.block("loop").body]
+        assert "addu" in loop_ops           # acc accumulation stays
+        assert loop_ops.count("addiu") >= 1  # i++ stays
+
+    def test_loads_not_hoisted(self):
+        b = FunctionBuilder("f", params=("p",))
+        b.label("entry")
+        b.li(0, dest="i")
+        b.li(0, dest="acc")
+        b.li(0, dest="zero")
+        b.jump("loop")
+        b.label("loop")
+        v = b.lw("p")                       # may alias the store below
+        b.addu("acc", v, dest="acc")
+        b.sw("acc", "p")
+        b.addiu("i", 1, dest="i")
+        t = b.slti("i", 4)
+        b.bne(t, "zero", "loop", "exit")
+        b.label("exit")
+        b.ret("acc")
+        func = b.finish()
+        loop_invariant_code_motion(func)
+        assert not func.has_block("loop.preheader")
+
+    def test_no_invariants_no_preheader(self):
+        b = FunctionBuilder("f", params=())
+        b.label("entry")
+        b.li(0, dest="i")
+        b.li(0, dest="zero")
+        b.jump("loop")
+        b.label("loop")
+        b.addiu("i", 1, dest="i")
+        t = b.slti("i", 4)
+        b.bne(t, "zero", "loop", "exit")
+        b.label("exit")
+        b.ret("i")
+        func = b.finish()
+        loop_invariant_code_motion(func)
+        assert not func.has_block("loop.preheader")
+
+    def test_entry_self_loop_gets_preheader_as_entry(self):
+        b = FunctionBuilder("f", params=("k",))
+        b.label("loop")
+        c = b.li(5)
+        inv = b.mult("k", c)
+        b.move(inv, dest="acc")
+        b.addiu("acc", 1, dest="acc")       # make it non-trivial
+        b.li(0, dest="zero")
+        b.blez("acc", "loop", "exit")
+        b.label("exit")
+        b.ret("acc")
+        func = b.finish()
+        loop_invariant_code_motion(func)
+        if func.has_block("loop.preheader"):
+            assert func.entry == "loop.preheader"
+            func.verify()
+
+    def test_unroll_sees_through_preheader(self):
+        func = counted_loop_with_invariant()
+        loop_invariant_code_motion(func)
+        unroll_loops(func, factor=5)
+        assert func.block("loop").annotations.get("unrolled_by") == 5
+
+    def test_o3_pipeline_with_licm_on_workloads(self):
+        from repro.workloads import all_workloads
+        for workload in all_workloads():
+            program, args = workload.build()
+            optimized = optimize(program, "O3")
+            result, __, ___ = run_program(optimized, args=args)
+            assert result == workload.reference(), workload.name

@@ -1,0 +1,110 @@
+"""Property-based tests for the flow stages: merging, selection,
+sharing, replacement."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import ISEConstraints
+from repro.core.candidate import ISECandidate
+from repro.core.merging import merge_candidates
+from repro.core.replacement import plan_block_replacements
+from repro.core.selection import select_ises, shared_area
+from repro.graph import is_legal
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY
+
+from test_properties import lower, straight_line_blocks
+
+SLOW = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def _random_candidates(dfg, picks, constraints):
+    """Legal candidates built from hypothesis-picked seed nodes."""
+    candidates = []
+    used = set()
+    for seed, saving in picks:
+        if seed not in dfg.graph or seed in used:
+            continue
+        members = {seed}
+        for succ in dfg.data_successors(seed):
+            if dfg.op(succ).groupable and succ not in used:
+                members.add(succ)
+                break
+        if len(members) < 2:
+            continue
+        if not is_legal(dfg, members, constraints):
+            continue
+        option_of = {
+            uid: DEFAULT_DATABASE.hardware_options(dfg.op(uid).name)[0]
+            for uid in members}
+        candidate = ISECandidate(dfg, members, option_of,
+                                 DEFAULT_TECHNOLOGY)
+        candidate.weighted_saving = float(saving)
+        candidates.append(candidate)
+        used |= members
+    return candidates
+
+
+picks_strategy = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 50)),
+    min_size=0, max_size=6)
+
+
+class TestMergingProperties:
+    @SLOW
+    @given(straight_line_blocks(), picks_strategy)
+    def test_merging_conserves_candidates(self, instrs, picks):
+        dfg = lower(instrs)
+        constraints = ISEConstraints()
+        candidates = _random_candidates(dfg, picks, constraints)
+        merged = merge_candidates(candidates)
+        assert len(merged) <= len(candidates)
+        total = sum(len(entry.all_candidates()) for entry in merged)
+        assert total == len(candidates)
+        # Weighted saving is conserved exactly.
+        assert sum(e.weighted_saving for e in merged) == \
+            sum(c.weighted_saving for c in candidates)
+
+    @SLOW
+    @given(straight_line_blocks(), picks_strategy)
+    def test_sharing_never_exceeds_sum(self, instrs, picks):
+        dfg = lower(instrs)
+        candidates = _random_candidates(dfg, picks, ISEConstraints())
+        merged = merge_candidates(candidates)
+        shared = shared_area(merged, enable_sharing=True)
+        unshared = shared_area(merged, enable_sharing=False)
+        assert 0.0 <= shared <= unshared + 1e-9
+
+
+class TestSelectionProperties:
+    @SLOW
+    @given(straight_line_blocks(), picks_strategy,
+           st.integers(0, 4), st.floats(0, 50_000))
+    def test_budgets_always_respected(self, instrs, picks, count, area):
+        dfg = lower(instrs)
+        candidates = _random_candidates(dfg, picks, ISEConstraints())
+        merged = merge_candidates(candidates)
+        constraints = ISEConstraints(max_ises=count, max_area=area)
+        result = select_ises(merged, constraints)
+        assert result.count <= count
+        assert result.area <= area + 1e-9
+        # Greedy picks positive-saving entries only, best first.
+        savings = [e.weighted_saving for e in result.selected]
+        assert all(s > 0 for s in savings)
+
+
+class TestReplacementProperties:
+    @SLOW
+    @given(straight_line_blocks(), picks_strategy)
+    def test_replacement_groups_disjoint_and_legal(self, instrs, picks):
+        dfg = lower(instrs)
+        constraints = ISEConstraints()
+        candidates = _random_candidates(dfg, picks, constraints)
+        merged = merge_candidates(candidates)
+        groups = plan_block_replacements(dfg, merged, constraints)
+        seen = set()
+        for members, option_of in groups:
+            assert not (members & seen)
+            seen |= members
+            assert is_legal(dfg, members, constraints)
+            assert set(option_of) == set(members)

@@ -1,0 +1,91 @@
+"""Property tests for Operation-Scheduling's cluster invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import ISEConstraints
+from repro.core.iteration import IterationSchedule
+from repro.graph import is_convex
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY, \
+    default_io_table
+from repro.sched import MachineConfig
+
+from test_properties import lower, straight_line_blocks
+
+SLOW = settings(max_examples=30, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_schedule(dfg, hw_flags, machine):
+    """Schedule in program order with per-node hw/sw choices."""
+    constraints = ISEConstraints(
+        n_in=machine.register_file.read_ports,
+        n_out=machine.register_file.write_ports)
+    sched = IterationSchedule(dfg, machine, DEFAULT_TECHNOLOGY,
+                              constraints)
+    for index, uid in enumerate(dfg.nodes):
+        table = default_io_table(dfg.op(uid), DEFAULT_DATABASE)
+        want_hw = hw_flags[index % len(hw_flags)] if hw_flags else False
+        if want_hw and table.has_hardware:
+            sched.schedule_hardware(uid, table.hardware[0])
+        else:
+            sched.schedule_software(uid, table.software[0])
+    return sched
+
+
+machines = st.sampled_from([MachineConfig(1, "4/2"),
+                            MachineConfig(2, "4/2"),
+                            MachineConfig(2, "6/3"),
+                            MachineConfig(4, "10/5")])
+
+
+class TestClusterInvariants:
+    @SLOW
+    @given(straight_line_blocks(), st.lists(st.booleans(), min_size=1,
+                                            max_size=8), machines)
+    def test_schedule_always_verifies(self, instrs, hw_flags, machine):
+        dfg = lower(instrs)
+        sched = build_schedule(dfg, hw_flags, machine)
+        sched.verify()                    # dependences hold
+        assert set(sched.start) == set(dfg.nodes)
+
+    @SLOW
+    @given(straight_line_blocks(), st.lists(st.booleans(), min_size=1,
+                                            max_size=8), machines)
+    def test_clusters_convex_and_port_legal(self, instrs, hw_flags,
+                                            machine):
+        from repro.graph import input_values, output_values
+        dfg = lower(instrs)
+        sched = build_schedule(dfg, hw_flags, machine)
+        for cluster in sched.clusters:
+            assert is_convex(dfg, cluster.members)
+            n_in = len(input_values(dfg, cluster.members))
+            n_out = len(output_values(dfg, cluster.members))
+            if len(cluster.members) > 1:
+                assert n_in <= machine.register_file.read_ports
+                assert n_out <= machine.register_file.write_ports
+
+    @SLOW
+    @given(straight_line_blocks(), st.lists(st.booleans(), min_size=1,
+                                            max_size=8), machines)
+    def test_cluster_members_share_start(self, instrs, hw_flags, machine):
+        dfg = lower(instrs)
+        sched = build_schedule(dfg, hw_flags, machine)
+        for cluster in sched.clusters:
+            starts = {sched.start[uid] for uid in cluster.members}
+            assert starts == {cluster.start}
+            # Latency consistent with the combinational model.
+            expected = DEFAULT_TECHNOLOGY.cycles_for_delay(
+                cluster.delay_ns)
+            assert cluster.cycles == expected
+
+    @SLOW
+    @given(straight_line_blocks(), machines)
+    def test_all_software_matches_node_count_bound(self, instrs, machine):
+        dfg = lower(instrs)
+        sched = build_schedule(dfg, [False], machine)
+        # A legal schedule never exceeds one op per cycle and never
+        # beats the dependence bound.
+        assert sched.makespan <= len(dfg)
+        from repro.graph import longest_path_cycles
+        assert sched.makespan >= longest_path_cycles(dfg, lambda u: 1)

@@ -1,0 +1,68 @@
+"""Tests for the extra SHA-1 workload (extension suite)."""
+
+import pytest
+
+from repro.ir import run_program
+from repro.ir.passes import optimize
+from repro.workloads import all_workloads, extra_workloads, get_workload
+from repro.workloads import sha1
+
+
+class TestSha1Registry:
+    def test_extra_not_in_paper_suite(self):
+        assert "sha1" not in [w.name for w in all_workloads()]
+        assert "sha1" in [w.name for w in extra_workloads()]
+
+    def test_lookup_by_name(self):
+        assert get_workload("sha1").name == "sha1"
+
+
+class TestSha1Correctness:
+    def test_mirror_matches_hashlib(self):
+        assert sha1.mirror_digest() == sha1.hashlib_digest()
+
+    def test_mirror_matches_hashlib_other_messages(self):
+        for message in (b"", b"abc", b"a" * 55):
+            assert sha1.mirror_digest(message) == \
+                sha1.hashlib_digest(message), message
+
+    def test_interpreter_matches_reference_o0(self):
+        workload = get_workload("sha1")
+        program, args = workload.build()
+        result, __, ___ = run_program(program, args=args)
+        assert result == workload.reference()
+
+    def test_interpreter_matches_reference_o3(self):
+        workload = get_workload("sha1")
+        program, args = workload.build()
+        optimized = optimize(program, "O3")
+        result, __, ___ = run_program(optimized, args=args)
+        assert result == workload.reference()
+
+    def test_hash_words_in_memory(self):
+        program, args = sha1.build()
+        __, ___, interp = run_program(program, args=args)
+        h_base = args[1]
+        words = interp.memory.words(h_base, 5)
+        assert tuple(words) == sha1.compress()
+
+    def test_multiblock_rejected(self):
+        with pytest.raises(AssertionError):
+            sha1.padded_block(b"x" * 56)
+
+
+class TestSha1Structure:
+    def test_schedule_loop_unrolls(self):
+        program, __ = sha1.build()
+        optimized = optimize(program, "O3")
+        func = optimized.function("sha1_compress")
+        assert func.block("sched_loop").annotations.get(
+            "unrolled_by", 1) >= 2
+        assert func.block("phase0").annotations.get("unrolled_by", 1) >= 2
+
+    def test_rotate_idiom_present(self):
+        program, __ = sha1.build()
+        func = program.function("sha1_compress")
+        ops = [i.op for i in func.block("phase0").body]
+        # rol5 and rol30: two sll/srl/or triples per round.
+        assert ops.count("sll") >= 2 and ops.count("srl") >= 2

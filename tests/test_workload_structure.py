@@ -1,0 +1,117 @@
+"""Structural regression tests for the workloads' hot-block DFGs.
+
+The evaluation's shape claims rest on the kernels having the DFG
+profiles described in docs/WORKLOADS.md (chains for crc32/blowfish,
+wide ILP for jpeg/fft, branchy small blocks for adpcm/dijkstra).
+These tests pin those properties so compiler-pass changes that would
+silently alter the evaluation substrate fail loudly.
+"""
+
+import pytest
+
+from repro.graph import build_dfg, longest_path_cycles
+from repro.ir.analysis import liveness
+from repro.ir.passes import optimize
+from repro.workloads import get_workload
+
+UNIT = lambda uid: 1
+
+
+def hot_dfg(workload_name, func_name, label, opt="O3"):
+    program, __ = get_workload(workload_name).build()
+    program = optimize(program, opt)
+    func = program.function(func_name)
+    ___, live_out = liveness(func)
+    return build_dfg(func.block(label), live_out[label],
+                     function=func_name)
+
+
+def ilp_of(dfg):
+    """Average width: ops per critical-path level."""
+    chain = longest_path_cycles(dfg, UNIT)
+    return len(dfg) / chain if chain else 0.0
+
+
+class TestChainKernels:
+    def test_crc32_bit_loop_is_a_chain(self):
+        dfg = hot_dfg("crc32", "crc32", "bit_loop")
+        assert len(dfg) >= 20
+        # Chain-dominated: depth over half the node count.
+        assert longest_path_cycles(dfg, UNIT) >= len(dfg) * 0.5
+        assert ilp_of(dfg) < 2.0
+
+    def test_sha1_schedule_loop_rotates(self):
+        dfg = hot_dfg("sha1", "sha1_compress", "sched_loop")
+        names = [dfg.op(uid).name for uid in dfg.nodes]
+        assert names.count("xor") >= 8
+        assert "sll" in names and "srl" in names
+
+
+class TestWideKernels:
+    def test_jpeg_row_pass_is_wide(self):
+        dfg = hot_dfg("jpeg", "fdct", "row_loop")
+        assert len(dfg) >= 80
+        assert ilp_of(dfg) >= 2.5
+        mults = sum(1 for uid in dfg.nodes
+                    if dfg.op(uid).name in ("mult", "multu", "sll"))
+        assert mults >= 8
+
+    def test_fft_butterfly_mixes_mults_and_memory(self):
+        dfg = hot_dfg("fft", "fft", "bfly")
+        names = [dfg.op(uid).name for uid in dfg.nodes]
+        assert names.count("mult") >= 4
+        assert names.count("lw") >= 4
+        assert names.count("sw") >= 4
+
+
+class TestMemoryBoundKernels:
+    def test_blowfish_round_loop_load_interleaved(self):
+        dfg = hot_dfg("blowfish", "bf_encrypt", "round_loop")
+        loads = sum(1 for uid in dfg.nodes if dfg.op(uid).is_memory)
+        groupable = len(dfg.groupable_nodes())
+        assert loads >= 10
+        assert groupable >= 2 * loads   # plenty of ALU work around them
+
+
+class TestBranchyKernels:
+    @pytest.mark.parametrize("workload,func,blocks", [
+        ("adpcm", "adpcm_encode",
+         ["sample_loop", "quant1", "update", "emit"]),
+        ("dijkstra", "dijkstra",
+         ["scan_loop", "relax_loop", "outer_loop"]),
+    ])
+    def test_blocks_stay_small(self, workload, func, blocks):
+        program, __ = get_workload(workload).build()
+        program = optimize(program, "O3")
+        function = program.function(func)
+        ___, live_out = liveness(function)
+        for label in blocks:
+            dfg = build_dfg(function.block(label), live_out[label],
+                            function=func)
+            assert len(dfg) <= 12, label
+
+
+class TestOptLevelEffect:
+    @pytest.mark.parametrize("workload,func,label", [
+        ("crc32", "crc32", "bit_loop"),
+        ("blowfish", "bf_encrypt", "round_loop"),
+    ])
+    def test_o3_unrolling_grows_blocks(self, workload, func, label):
+        o0 = hot_dfg(workload, func, label, opt="O0")
+        o3 = hot_dfg(workload, func, label, opt="O3")
+        assert len(o3) > len(o0)
+
+    def test_jpeg_body_hits_unroll_size_cap(self):
+        # The DCT body is already near the unroller's max_body cap, so
+        # -O3 cleans it (CSE removes duplicated constants) but does not
+        # replicate it — mirroring gcc's max-unrolled-insns behaviour.
+        o0 = hot_dfg("jpeg", "fdct", "row_loop", opt="O0")
+        o3 = hot_dfg("jpeg", "fdct", "row_loop", opt="O3")
+        assert len(o3) <= len(o0)
+        assert len(o3) >= 80
+
+    def test_o0_keeps_raw_body(self):
+        # O0 crc32 bit loop is the raw 7-op body (5 computation ops +
+        # induction increment + exit compare).
+        o0 = hot_dfg("crc32", "crc32", "bit_loop", opt="O0")
+        assert len(o0) == 7

@@ -1,0 +1,117 @@
+"""Tests for the seven benchmark kernels.
+
+Every workload's IR must compute the same result as its bit-exact
+Python reference, at -O0 and at -O3, and expose the structural
+properties the evaluation depends on (hot loops, unrollability).
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ir import run_program
+from repro.ir.passes import optimize
+from repro.workloads import all_workloads, get_workload, workload_names
+from repro.workloads import blowfish, crc32, fft, jpeg
+
+
+@pytest.fixture(scope="module")
+def built():
+    """Programs + args, built once per module."""
+    return {w.name: (w, w.build()) for w in all_workloads()}
+
+
+class TestRegistry:
+    def test_names_in_paper_order(self):
+        assert workload_names() == [
+            "crc32", "fft", "adpcm", "bitcount", "blowfish", "jpeg",
+            "dijkstra"]
+
+    def test_get_by_name(self):
+        workload = get_workload("fft")
+        assert workload.name == "fft"
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            get_workload("doom")
+
+    def test_descriptions_nonempty(self):
+        assert all(w.description for w in all_workloads())
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", [w.name for w in all_workloads()])
+    def test_o0_matches_reference(self, built, name):
+        workload, (program, args) = built[name]
+        result, __, ___ = run_program(program, args=args)
+        assert result == workload.reference()
+
+    @pytest.mark.parametrize("name", [w.name for w in all_workloads()])
+    def test_o3_matches_reference(self, built, name):
+        workload, (program, args) = built[name]
+        optimized = optimize(program, "O3")
+        result, __, ___ = run_program(optimized, args=args)
+        assert result == workload.reference()
+
+    @pytest.mark.parametrize("name", [w.name for w in all_workloads()])
+    def test_programs_verify(self, built, name):
+        __, (program, ___) = built[name]
+        program.verify()
+
+
+class TestStructure:
+    def test_crc32_bit_loop_unrolls(self, built):
+        __, (program, ___) = built["crc32"]
+        optimized = optimize(program, "O3")
+        loop = optimized.function("crc32").block("bit_loop")
+        assert loop.annotations.get("unrolled_by", 1) >= 2
+
+    def test_blowfish_round_loop_unrolls(self, built):
+        __, (program, ___) = built["blowfish"]
+        optimized = optimize(program, "O3")
+        loop = optimized.function("bf_encrypt").block("round_loop")
+        assert loop.annotations.get("unrolled_by", 1) >= 2
+
+    def test_fft_butterfly_unrolls(self, built):
+        __, (program, ___) = built["fft"]
+        optimized = optimize(program, "O3")
+        loop = optimized.function("fft").block("bfly")
+        assert loop.annotations.get("unrolled_by", 1) >= 2
+
+    def test_hot_blocks_dominate_profile(self, built):
+        for name in ("crc32", "blowfish", "jpeg"):
+            workload, (program, args) = built[name]
+            __, profile, ___ = run_program(program, args=args)
+            (top, count), *__rest = profile.items()
+            assert count >= 8, (name, top)
+
+    def test_o3_reduces_dynamic_instructions(self, built):
+        for name in ("crc32", "fft", "jpeg"):
+            __, (program, args) = built[name]
+            ___, profile0, ____ = run_program(program, args=args)
+            optimized = optimize(program, "O3")
+            ___, profile3, ____ = run_program(optimized, args=args)
+            assert (profile3.instructions_executed
+                    < profile0.instructions_executed), name
+
+
+class TestDeterminism:
+    def test_inputs_are_deterministic(self):
+        assert crc32.message_bytes() == crc32.message_bytes()
+        assert fft.input_samples() == fft.input_samples()
+        assert blowfish.input_blocks() == blowfish.input_blocks()
+        assert jpeg.input_block() == jpeg.input_block()
+
+    def test_crc32_matches_binascii(self):
+        # Independent cross-check of the reference itself.
+        import binascii
+        assert crc32.reference() == \
+            binascii.crc32(crc32.message_bytes()) & 0xFFFFFFFF
+
+    def test_fft_twiddles_q14(self):
+        wr, wi = fft.twiddles()
+        assert wr[0] == 1 << 14          # cos(0) in Q14
+        assert wi[0] == 0
+
+    def test_bit_reverse_table_is_permutation(self):
+        table = fft.bit_reverse_table()
+        assert sorted(table) == list(range(16))
