@@ -54,12 +54,23 @@ class SingleIssueExplorer:
         """The (clamped) physical constraints in effect."""
         return self._inner.constraints
 
-    def explore(self, dfg):
+    def explore(self, dfg, jobs=None):
         """Explore one DFG; candidates are tagged ``source="SI"``."""
-        result = self._inner.explore(dfg)
+        result = self._inner.explore(dfg, jobs=jobs)
+        self._tag(result)
+        return result
+
+    def explore_many(self, dfgs, jobs=None):
+        """Explore several DFGs with (block, restart) pool granularity."""
+        results = self._inner.explore_many(dfgs, jobs=jobs)
+        for result in results:
+            self._tag(result)
+        return results
+
+    @staticmethod
+    def _tag(result):
         for candidate in result.candidates:
             candidate.source = "SI"
-        return result
 
 
 def si_explorer_factory(flow):

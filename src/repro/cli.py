@@ -43,13 +43,19 @@ def _add_effort_args(parser):
     parser.add_argument("--restarts", type=int, default=2,
                         help="independent restarts per block (default 2)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", default=None, metavar="N",
+                        help="worker processes for exploration: an "
+                             "integer, or 'auto' for one per CPU "
+                             "(default: $REPRO_JOBS or serial); results "
+                             "are identical at any setting")
 
 
 def _flow_from_args(args):
     machine = MachineConfig(args.issue, args.ports)
     params = ExplorationParams(max_iterations=args.iterations,
                                restarts=args.restarts)
-    return ISEDesignFlow(machine, params=params, seed=args.seed)
+    return ISEDesignFlow(machine, params=params, seed=args.seed,
+                         jobs=getattr(args, "jobs", None))
 
 
 def _cmd_workloads(args):

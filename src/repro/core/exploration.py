@@ -15,7 +15,11 @@ Fig. 4.3.1 on one basic-block DFG:
   schedule of the block.
 
 §5.1 repeats exploration ``restarts`` times per block and keeps the
-best outcome; :meth:`explore` does the same.
+best outcome; :meth:`explore` does the same.  Restarts (and, through
+:meth:`explore_many`, whole blocks) are independent: each derives its
+RNG from ``(seed, restart, function, block)`` alone, so they can fan
+out over a process pool (``jobs`` / ``REPRO_JOBS``) with results
+bit-identical to the serial path.
 """
 
 import random
@@ -32,8 +36,14 @@ from .contract import contract_candidate
 from .iteration import IterationSchedule
 from .make_convex import legalize_components
 from .merit import update_merits
+from .parallel import parallel_map, resolve_jobs
 from .state import ExplorationState
 from .trail import update_trails
+
+
+def _restart_task(explorer, dfg, io_tables, restart):
+    """Module-level worker: one independent restart (picklable)."""
+    return explorer._explore_restart(dfg, io_tables, restart)
 
 
 class ExplorationResult:
@@ -72,7 +82,7 @@ class MultiIssueExplorer:
 
     def __init__(self, machine, params=None, constraints=None,
                  database=None, technology=None, seed=0,
-                 priority="children"):
+                 priority="children", jobs=None):
         self.machine = machine
         self.params = params or DEFAULT_PARAMS
         constraints = constraints or DEFAULT_CONSTRAINTS
@@ -86,28 +96,73 @@ class MultiIssueExplorer:
         self.technology = technology or machine.technology or DEFAULT_TECHNOLOGY
         self.seed = seed
         self.priority = priority
+        self.jobs = jobs
 
     # -- public API -------------------------------------------------------
 
-    def explore(self, dfg, io_tables=None):
+    def explore(self, dfg, io_tables=None, jobs=None):
         """Explore one basic-block DFG; returns the best of ``restarts``
         independent runs (fewest final cycles, then least area).
 
         ``io_tables`` (uid → :class:`~repro.hwlib.options.IOTable`)
         overrides the default database-driven tables — the hook through
         which the §6 extensions (e.g. HW/SW partitioning) reuse the
-        engine with their own implementation options.
+        engine with their own implementation options.  ``jobs`` > 1
+        fans the restarts over a process pool; each restart seeds its
+        own RNG, so the outcome is identical to the serial run.
         """
         if io_tables is None:
-            io_tables = {
-                uid: default_io_table(dfg.op(uid), self.database)
-                for uid in dfg.nodes
-            }
+            io_tables = self._default_tables(dfg)
+        jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        restarts = range(self.params.restarts)
+        if jobs > 1:
+            results = parallel_map(
+                _restart_task,
+                [(self, dfg, io_tables, restart) for restart in restarts],
+                jobs)
+        else:
+            results = (self._explore_restart(dfg, io_tables, restart)
+                       for restart in restarts)
+        return self._best_of(results)
+
+    def explore_many(self, dfgs, jobs=None):
+        """Explore several DFGs; returns one best result per DFG.
+
+        Fans every (block, restart) combination over the pool, which
+        balances better than whole blocks when block sizes differ.  The
+        per-restart reduction is the same as :meth:`explore`'s, so the
+        returned list matches serial block-by-block exploration exactly.
+        """
+        dfgs = list(dfgs)
+        jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        restarts = range(self.params.restarts)
+        if jobs <= 1:
+            return [self.explore(dfg, jobs=1) for dfg in dfgs]
+        tables = [self._default_tables(dfg) for dfg in dfgs]
+        tasks = [(self, dfg, tables[index], restart)
+                 for index, dfg in enumerate(dfgs)
+                 for restart in restarts]
+        flat = parallel_map(_restart_task, tasks, jobs)
+        count = len(restarts)
+        return [self._best_of(flat[index * count:(index + 1) * count])
+                for index in range(len(dfgs))]
+
+    def _default_tables(self, dfg):
+        return {
+            uid: default_io_table(dfg.op(uid), self.database)
+            for uid in dfg.nodes
+        }
+
+    def _explore_restart(self, dfg, io_tables, restart):
+        """One independent restart with its derived RNG stream."""
+        rng = random.Random("{}:{}:{}:{}".format(
+            self.seed, restart, dfg.function, dfg.label))
+        return self._explore_once(dfg, rng, io_tables)
+
+    def _best_of(self, results):
+        """Reduce restart results in order (first strictly better wins)."""
         best = None
-        for restart in range(self.params.restarts):
-            rng = random.Random("{}:{}:{}:{}".format(
-                self.seed, restart, dfg.function, dfg.label))
-            result = self._explore_once(dfg, rng, io_tables)
+        for result in results:
             if best is None or self._better(result, best):
                 best = result
         return best

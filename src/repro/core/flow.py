@@ -20,8 +20,14 @@ from ..sched.list_scheduler import list_schedule
 from ..sched.units import contract_dfg
 from .exploration import MultiIssueExplorer
 from .merging import merge_candidates
+from .parallel import parallel_map, resolve_jobs
 from .replacement import replace_and_schedule
 from .selection import select_ises
+
+
+def _explore_block_task(explorer, dfg):
+    """Module-level worker: explore one block DFG (picklable)."""
+    return explorer.explore(dfg)
 
 
 class BlockInstance:
@@ -133,7 +139,7 @@ class ISEDesignFlow:
     def __init__(self, machine, params=None, constraints=None,
                  technology=None, seed=0, priority="children",
                  coverage=0.95, max_blocks=8, max_dfg_nodes=220,
-                 explorer_factory=None):
+                 explorer_factory=None, jobs=None):
         self.machine = machine
         self.params = params or DEFAULT_PARAMS
         self.constraints = constraints or DEFAULT_CONSTRAINTS
@@ -143,6 +149,7 @@ class ISEDesignFlow:
         self.coverage = coverage
         self.max_blocks = max_blocks
         self.max_dfg_nodes = max_dfg_nodes
+        self.jobs = jobs
         if explorer_factory is None:
             explorer_factory = lambda flow: MultiIssueExplorer(
                 flow.machine, params=flow.params,
@@ -197,17 +204,24 @@ class ISEDesignFlow:
 
     # -- stage 2: hot-block selection + exploration --------------------------
 
-    def explore_application(self, program, args=(), opt_level=None):
-        """Profile, pick hot blocks, explore each; returns the bundle."""
+    def explore_application(self, program, args=(), opt_level=None,
+                            jobs=None):
+        """Profile, pick hot blocks, explore each; returns the bundle.
+
+        ``jobs`` > 1 (or ``REPRO_JOBS``) fans block explorations over a
+        process pool; per-block RNG streams derive from the block's
+        identity, so the bundle is identical to the serial run.
+        """
         if opt_level is not None:
             program = optimize(program, opt_level)
         blocks = self.profile_blocks(program, args=args)
         hot = self._select_hot_blocks(blocks)
         explorer = self._explorer_factory(self)
+        jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        results = self._explore_hot_blocks(explorer, hot, jobs)
         candidates = []
         explored_labels = []
-        for instance in hot:
-            result = explorer.explore(instance.dfg)
+        for instance, result in zip(hot, results):
             explored_labels.append((instance.function, instance.label))
             for candidate in result.candidates:
                 candidate.weighted_saving = (
@@ -216,6 +230,19 @@ class ISEDesignFlow:
         return ExploredApplication(program, self.machine, blocks, candidates,
                                    explored_labels, self.technology,
                                    self.constraints)
+
+    @staticmethod
+    def _explore_hot_blocks(explorer, hot, jobs):
+        """Explore the hot blocks, fanning out when ``jobs`` > 1.
+
+        Explorers that support :meth:`explore_many` get (block, restart)
+        granularity; others are mapped block-by-block.
+        """
+        explore_many = getattr(explorer, "explore_many", None)
+        if callable(explore_many):
+            return explore_many([b.dfg for b in hot], jobs=jobs)
+        return parallel_map(_explore_block_task,
+                            [(explorer, b.dfg) for b in hot], jobs)
 
     def _select_hot_blocks(self, blocks):
         eligible = [b for b in blocks

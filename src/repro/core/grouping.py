@@ -36,7 +36,7 @@ class VirtualGroup:
             self.seed, self.option.label, self.size, self.delay_ns, self.area)
 
 
-def hardware_grouping(dfg, state, prev_schedule):
+def hardware_grouping(dfg, state, prev_schedule, memo=None):
     """Evaluate vS(x, HW-j) for every hardware option of every operation.
 
     Parameters
@@ -51,29 +51,76 @@ def hardware_grouping(dfg, state, prev_schedule):
         :class:`~repro.core.iteration.IterationSchedule`; its
         hardware-chosen set and per-member chosen options seed the
         growth.
+    memo:
+        Optional round-lifetime dict.  Group growth and the delay/area
+        evaluation are pure functions of (seed, chosen-hardware set,
+        member options), so as the colony converges and the same
+        virtual groups recur every iteration, their geometry is reused
+        instead of recomputed — the values are identical by
+        construction.
 
     Returns dict ``(uid, option_label) → VirtualGroup``.
     """
     chosen_hw = prev_schedule.hardware_chosen_set()
+    chosen_sig = frozenset(chosen_hw)
+    chosen = prev_schedule.chosen
     groups = {}
     for uid in dfg.nodes:
         hw_options = state.hardware_options(uid)
         if not hw_options:
             continue
-        members = grown_group(dfg, uid, chosen_hw)
+        members = None
+        if memo is not None:
+            grow_key = ("grow", uid, chosen_sig)
+            members = memo.get(grow_key)
+            if members is None:
+                members = frozenset(grown_group(dfg, uid, chosen_hw))
+                memo[grow_key] = members
+        else:
+            members = frozenset(grown_group(dfg, uid, chosen_hw))
+        label_sig = None
         for option in hw_options:
+            if memo is not None:
+                if label_sig is None:
+                    label_sig = tuple(sorted(
+                        (m, chosen[m].label) for m in members if m != uid))
+                group_key = ("vg", uid, option.label, members, label_sig)
+                cached = memo.get(group_key)
+                if cached is not None:
+                    delay, cycles, area = cached
+                    groups[(uid, option.label)] = VirtualGroup(
+                        uid, option, members, delay, cycles, area)
+                    continue
 
             def option_of(node, _seed=uid, _opt=option):
                 if node == _seed:
                     return _opt
-                return prev_schedule.chosen[node]
+                return chosen[node]
 
             delay = subgraph_delay_ns(dfg.graph, members, option_of)
             area = subgraph_area(members, option_of)
             cycles = prev_schedule.technology.cycles_for_delay(delay)
+            if memo is not None:
+                memo[group_key] = (delay, cycles, area)
             groups[(uid, option.label)] = VirtualGroup(
                 uid, option, members, delay, cycles, area)
     return groups
+
+
+def best_groups(groups):
+    """HW-MAX per seed in one pass: ``{seed: fastest VirtualGroup}``.
+
+    Equivalent to calling :func:`best_group_of` for every seed, but
+    linear in the number of groups instead of quadratic.
+    """
+    best = {}
+    for (seed, __), group in groups.items():
+        current = best.get(seed)
+        if current is None or (
+                (group.cycles, group.delay_ns, group.area)
+                < (current.cycles, current.delay_ns, current.area)):
+            best[seed] = group
+    return best
 
 
 def best_group_of(groups, uid):

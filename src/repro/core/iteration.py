@@ -11,16 +11,22 @@ ports, critical-path cycles) is revised in place.
 """
 
 from ..errors import ExplorationError, SchedulingError
-from ..graph.analysis import input_values, output_values
-from ..hwlib.asfu import subgraph_delay_ns
+from ..graph.analysis import SubgraphIOTracker
+from ..hwlib.asfu import IncrementalDelay
 from ..sched.resources import Needs, ReservationTable
 
 
 class Cluster:
-    """An ISE under construction within one iteration's schedule."""
+    """An ISE under construction within one iteration's schedule.
+
+    Geometry (the §4.2 ``IN``/``OUT`` value sets and the combinational
+    critical path) is cached in incremental trackers and revised as
+    members join, instead of being rebuilt from the member set on every
+    join attempt.
+    """
 
     __slots__ = ("cid", "members", "start", "option_of", "delay_ns",
-                 "cycles", "needs")
+                 "cycles", "needs", "io", "timing")
 
     def __init__(self, cid, start):
         self.cid = cid
@@ -30,6 +36,8 @@ class Cluster:
         self.delay_ns = 0.0
         self.cycles = 1
         self.needs = None
+        self.io = None
+        self.timing = None
 
     def __repr__(self):
         return "Cluster({} @C{}, {} ops, {} cyc)".format(
@@ -133,15 +141,22 @@ class IterationSchedule:
                 continue
             if self.finish(pred) > cluster.start:
                 return False
-        new_members = cluster.members | {uid}
-        option_map = dict(cluster.option_of)
-        option_map[uid] = option
-        n_in = len(input_values(self.dfg, new_members))
-        n_out = len(output_values(self.dfg, new_members))
+        io_delta = cluster.io.preview_add(uid)
+        n_in, n_out = io_delta.n_in, io_delta.n_out
         if n_in > self.constraints.n_in or n_out > self.constraints.n_out:
             return False
-        new_delay = subgraph_delay_ns(
-            self.dfg.graph, new_members, option_map.__getitem__)
+        arrival = None
+        if io_delta.succ_members:
+            # A member already consumes uid — not a sink addition, so
+            # the cached arrival times cannot be extended in place.
+            option_map = dict(cluster.option_of)
+            option_map[uid] = option
+            probe = IncrementalDelay(self.dfg.graph)
+            probe.rebuild(cluster.members | {uid}, option_map.__getitem__)
+            new_delay = probe.delay_ns
+        else:
+            arrival, new_delay = cluster.timing.preview_add(
+                uid, option.delay_ns)
         new_cycles = self.technology.cycles_for_delay(new_delay)
         limit = self.constraints.max_ise_cycles
         if limit is not None and new_cycles > limit:
@@ -151,7 +166,8 @@ class IterationSchedule:
         new_finish = cluster.start + new_cycles
         for member in cluster.members:
             for succ in self.dfg.successors(member):
-                if succ in new_members or succ not in self.start:
+                if succ == uid or succ in cluster.members \
+                        or succ not in self.start:
                     continue
                 if self.start[succ] < new_finish:
                     return False
@@ -161,8 +177,14 @@ class IterationSchedule:
             self.table.place(cluster.start, cluster.needs)
             return False
         self.table.place(cluster.start, new_needs)
-        cluster.members = new_members
-        cluster.option_of = option_map
+        cluster.io.commit(io_delta)
+        cluster.members.add(uid)
+        cluster.option_of[uid] = option
+        if arrival is not None:
+            cluster.timing.commit(uid, arrival, new_delay)
+        else:
+            cluster.timing.rebuild(cluster.members,
+                                   cluster.option_of.__getitem__)
         cluster.needs = new_needs
         cluster.delay_ns = new_delay
         cluster.cycles = new_cycles
@@ -170,16 +192,18 @@ class IterationSchedule:
         return True
 
     def _open_cluster(self, uid, option):
-        members = {uid}
-        needs = Needs(reads=len(input_values(self.dfg, members)),
-                      writes=len(output_values(self.dfg, members)),
-                      fu_kind="asfu")
+        io = SubgraphIOTracker(self.dfg)
+        io.add(uid)
+        needs = Needs(reads=io.n_in, writes=io.n_out, fu_kind="asfu")
         cycle = self.table.first_fit(needs, not_before=self.data_ready(uid))
         self.table.place(cycle, needs)
         cluster = Cluster(self._next_cluster, cycle)
         self._next_cluster += 1
-        cluster.members = members
+        cluster.members = {uid}
         cluster.option_of = {uid: option}
+        cluster.io = io
+        cluster.timing = IncrementalDelay(self.dfg.graph)
+        cluster.timing.commit(uid, option.delay_ns, option.delay_ns)
         cluster.needs = needs
         cluster.delay_ns = option.delay_ns
         cluster.cycles = self.technology.cycles_for_delay(option.delay_ns)

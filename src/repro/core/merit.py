@@ -10,7 +10,7 @@ slack window off-path).
 """
 
 from ..graph.analysis import input_values, is_convex, output_values
-from .grouping import best_group_of, hardware_grouping
+from .grouping import best_groups, hardware_grouping
 
 
 def update_merits(dfg, state, schedule, constraints):
@@ -33,10 +33,19 @@ def update_merits(dfg, state, schedule, constraints):
 
     params = state.params
     analysis = ScheduleAnalysis(dfg, schedule)
-    groups = hardware_grouping(dfg, state, schedule)
+    # Round-lifetime memo for pure geometry facts (group growth, delay,
+    # I/O counts, convexity, chain lengths): identical virtual groups
+    # recur every iteration once the colony starts converging.
+    memo = getattr(state, "round_memo", None)
+    if memo is None:
+        memo = state.round_memo = {}
+    groups = hardware_grouping(dfg, state, schedule, memo=memo)
+    best_of = best_groups(groups)
 
+    # Software merits only ever multiply by the option's own latency, so
+    # the whole sweep is one vector operation over the software slots.
+    state.multiply_software_merits()
     for uid in dfg.nodes:
-        _update_software_merits(state, uid)
         hw_options = state.hardware_options(uid)
         if not hw_options:
             continue
@@ -46,49 +55,46 @@ def update_merits(dfg, state, schedule, constraints):
             for option in hw_options:
                 key = (uid, option.label)
                 state.merit[key] /= params.beta_cp
-        best = best_group_of(groups, uid)
+        best = best_of.get(uid)
         for option in hw_options:
             key = (uid, option.label)
             group = groups[(uid, option.label)]
             state.merit[key] = _hardware_merit(
                 state.merit[key], dfg, analysis, group, best,
-                params, constraints, on_critical=analysis.is_critical(uid))
+                params, constraints, memo,
+                on_critical=analysis.is_critical(uid))
     state.normalize_merits()
     return analysis
 
 
-def _update_software_merits(state, uid):
-    """Software merit: multiply by the option's execution time (§4.3's
-    Eq. for merit_{x,SW-i}); with the per-op normalisation this biases
-    toward options proportionally to their latency contribution."""
-    for option in state.options[uid]:
-        if option.is_hardware:
-            continue
-        key = (uid, option.label)
-        state.merit[key] *= option.cycles
-
-
 def _hardware_merit(merit, dfg, analysis, group, best, params, constraints,
-                    on_critical):
+                    memo, on_critical):
     """Cases 2-4 of Fig. 4.3.7 for one hardware option's virtual group."""
     # Case 2 — singleton group cannot shorten any dependence chain.
     if group.size == 1:
         return merit * params.beta_size
     # Case 3 — constraint violations damp but do not annihilate.
+    shape = memo.get(("io", group.members))
+    if shape is None:
+        shape = (len(input_values(dfg, group.members)),
+                 len(output_values(dfg, group.members)),
+                 is_convex(dfg, group.members))
+        memo[("io", group.members)] = shape
+    n_in, n_out, convex = shape
     violated = False
-    if len(input_values(dfg, group.members)) > constraints.n_in:
+    if n_in > constraints.n_in:
         merit *= params.beta_io
         violated = True
-    if len(output_values(dfg, group.members)) > constraints.n_out:
+    if n_out > constraints.n_out:
         merit *= params.beta_io
         violated = True
-    if not is_convex(dfg, group.members):
+    if not convex:
         merit *= params.beta_convex
         violated = True
     if violated:
         return merit
     # Case 4 — legal multi-op group: performance improvement check ...
-    saving = _cycle_saving(dfg, group)
+    saving = _software_chain(dfg, group.members, memo) - group.cycles
     merit *= saving if saving >= 1 else params.beta_size
     # ... then hardware-usage check.
     if on_critical or not params.use_slack_window:
@@ -114,9 +120,12 @@ def _area_ratio(best, group):
     return max(best.area, group.area) / group.area
 
 
-def _cycle_saving(dfg, group):
-    """Software chain length through the group minus its ASFU cycles."""
-    members = group.members
+def _software_chain(dfg, members, memo):
+    """Longest software dependence chain through ``members`` (memoised
+    per round — a pure function of the member set)."""
+    chain = memo.get(("chain", members))
+    if chain is not None:
+        return chain
     longest = {}
     order = [uid for uid in dfg.nodes if uid in members]
     for uid in order:
@@ -125,5 +134,6 @@ def _cycle_saving(dfg, group):
             if pred in members:
                 arrival = max(arrival, longest.get(pred, 0))
         longest[uid] = arrival + 1
-    software_chain = max(longest.values()) if longest else 0
-    return software_chain - group.cycles
+    chain = max(longest.values()) if longest else 0
+    memo[("chain", members)] = chain
+    return chain

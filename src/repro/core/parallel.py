@@ -1,0 +1,87 @@
+"""Process-parallel fan-out for exploration work.
+
+Restarts and explorable basic blocks are embarrassingly parallel: each
+(seed, restart, block) combination derives its own RNG stream, so
+results are bit-identical whether the tasks run serially or spread over
+a :class:`~concurrent.futures.ProcessPoolExecutor`.  This module holds
+the shared plumbing:
+
+* :func:`resolve_jobs` — turn an explicit ``jobs`` argument or the
+  ``REPRO_JOBS`` environment variable into a worker count (``0`` /
+  ``"auto"`` means one worker per CPU);
+* :func:`parallel_map` — ordered map over argument tuples, serial when
+  one worker (or one task) suffices, pooled otherwise.
+
+Nested pools are suppressed: workers are marked at fork/spawn time and
+always resolve to one job, so a parallel design flow never spawns
+grandchild processes from its per-block explorations.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from ..errors import ConfigError
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+_in_worker = False
+
+
+def _mark_worker():
+    """Pool initializer: flag this process as a parallel worker."""
+    global _in_worker
+    _in_worker = True
+
+
+def resolve_jobs(jobs=None):
+    """Normalise a ``jobs`` request into a positive worker count.
+
+    ``None`` falls back to ``REPRO_JOBS`` (default 1 — serial); ``0``
+    or ``"auto"`` selects :func:`os.cpu_count`.  Inside a pool worker
+    this always returns 1 so parallel sections never nest.
+    """
+    if _in_worker:
+        return 1
+    if jobs is None:
+        jobs = os.environ.get(JOBS_ENV, "1")
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            jobs = 0
+        else:
+            try:
+                jobs = int(jobs)
+            except ValueError:
+                raise ConfigError(
+                    "jobs must be an integer or 'auto', got {!r}".format(
+                        jobs)) from None
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ConfigError("jobs must be non-negative, got {}".format(jobs))
+    return jobs
+
+
+def parallel_map(function, tasks, jobs):
+    """``[function(*task) for task in tasks]``, optionally process-pooled.
+
+    Results keep task order, so any order-dependent reduction done by
+    the caller (e.g. "first strictly better restart wins") is identical
+    to the serial path.  ``function`` must be picklable (module level).
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [function(*task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_mark_worker) as pool:
+        futures = [pool.submit(function, *task) for task in tasks]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            # Ctrl-C (or a failed task) must not wait out the whole
+            # queue: drop everything not yet running so the pool
+            # shutdown only waits for the in-flight tasks.
+            for future in futures:
+                future.cancel()
+            raise

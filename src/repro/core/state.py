@@ -10,9 +10,84 @@ formulas:
   scheduling-priority (SP) term;
 * Eq. 3 — *selected probability* (sp), normalised per operation, used
   by the convergence test against ``P_END``.
+
+Storage layout
+--------------
+Trails and merits live in two contiguous ``numpy`` float64 vectors; one
+flat slot per (operation, option) pair, operations in ``dfg.nodes``
+order, options in table order.  A per-uid ``(offset, count)`` span maps
+an operation to its slice, so the maintenance sweeps
+(:meth:`clip_trails`, :meth:`normalize_merits`, the Fig. 4.3.5 trail
+update) are vector operations instead of per-key dict writes.  The
+public ``trail`` / ``merit`` attributes remain mapping-like
+(:class:`_VectorMap` views keyed by ``(uid, label)``) so callers and
+tests keep their dict idiom; every write through a view marks the
+operation *dirty*, which drives two caches:
+
+* the **Ready-Matrix weight rows** — Eq. 1 numerators are rebuilt only
+  for operations whose trail/merit changed, not on every draw;
+* the **convergence flags** — :meth:`converged` re-checks only dirty
+  operations against ``P_END``.
+
+All vector arithmetic is elementwise and mirrors the scalar expression
+order of the original dict implementation, so results are bit-identical
+to the per-key formulation.
 """
 
+import numpy as np
+
 from ..errors import ExplorationError
+
+#: Weight floor keeping the Eq. 1 roulette wheel well defined.
+_WEIGHT_FLOOR = 1e-12
+
+
+class _VectorMap:
+    """Mapping view over one per-(uid, label) slot vector.
+
+    Behaves like the dict it replaces — ``state.trail[(uid, label)]``
+    reads and writes the backing array — while funnelling every
+    mutation through :meth:`ExplorationState._touch` so the dependent
+    caches (weight rows, convergence flags) stay coherent.
+    """
+
+    __slots__ = ("_state", "_vec")
+
+    def __init__(self, state, vec):
+        self._state = state
+        self._vec = vec
+
+    def __getitem__(self, key):
+        return float(self._vec[self._state._flat_index[key]])
+
+    def __setitem__(self, key, value):
+        self._vec[self._state._flat_index[key]] = value
+        self._state._touch(key[0])
+
+    def __contains__(self, key):
+        return key in self._state._flat_index
+
+    def __iter__(self):
+        return iter(self._state._flat_keys)
+
+    def __len__(self):
+        return len(self._state._flat_keys)
+
+    def keys(self):
+        return list(self._state._flat_keys)
+
+    def values(self):
+        return [float(v) for v in self._vec]
+
+    def items(self):
+        return list(zip(self._state._flat_keys,
+                        (float(v) for v in self._vec)))
+
+    def get(self, key, default=None):
+        index = self._state._flat_index.get(key)
+        if index is None:
+            return default
+        return float(self._vec[index])
 
 
 class ExplorationState:
@@ -21,21 +96,48 @@ class ExplorationState:
     def __init__(self, dfg, io_tables, params, priority="children"):
         self.dfg = dfg
         self.params = params
+        #: Round-lifetime memo for pure geometry facts (see
+        #: :func:`~repro.core.merit.update_merits`).
+        self.round_memo = {}
         #: uid -> tuple of ImplementationOption
         self.options = {}
-        self.trail = {}
-        self.merit = {}
-        for uid in dfg.nodes:
+        self._uids = list(dfg.nodes)
+        self._flat_keys = []          # flat slot -> (uid, label)
+        self._flat_index = {}         # (uid, label) -> flat slot
+        self._option_map = {}         # (uid, label) -> option
+        self._span = {}               # uid -> (offset, stop)
+        self._pairs_of = {}           # uid -> [((uid, option)), ...]
+        trail_init = []
+        merit_init = []
+        sw_slots = []
+        sw_cycles = []
+        for uid in self._uids:
             table = io_tables[uid]
             opts = tuple(table)
             self.options[uid] = opts
+            offset = len(self._flat_keys)
+            pairs = []
             for option in opts:
                 key = (uid, option.label)
-                self.trail[key] = params.initial_trail
+                self._flat_index[key] = len(self._flat_keys)
+                self._flat_keys.append(key)
+                self._option_map[key] = option
+                pairs.append((uid, option))
+                trail_init.append(params.initial_trail)
                 if option.is_hardware:
-                    self.merit[key] = params.initial_merit_hardware
+                    merit_init.append(params.initial_merit_hardware)
                 else:
-                    self.merit[key] = params.initial_merit_software
+                    merit_init.append(params.initial_merit_software)
+                    sw_slots.append(len(self._flat_keys) - 1)
+                    sw_cycles.append(float(option.cycles))
+            self._span[uid] = (offset, len(self._flat_keys))
+            self._pairs_of[uid] = pairs
+        self._trail_vec = np.array(trail_init, dtype=np.float64)
+        self._merit_vec = np.array(merit_init, dtype=np.float64)
+        self._sw_slots = np.array(sw_slots, dtype=np.intp)
+        self._sw_cycles = np.array(sw_cycles, dtype=np.float64)
+        self.trail = _VectorMap(self, self._trail_vec)
+        self.merit = _VectorMap(self, self._merit_vec)
         # SP: the scheduling priority term of Eq. 1.  The paper uses the
         # number of child operations; §6 suggests trying mobility/depth,
         # so the function is pluggable.  Values are frozen for the round
@@ -50,16 +152,37 @@ class ExplorationState:
         scale = params.merit_scale / peak if peak else 0.0
         self.sp_term = {uid: shifted.get(uid, 0) * scale
                         for uid in dfg.nodes}
+        self._sp_vec = np.array(
+            [self.sp_term.get(uid, 0.0) for uid, __ in self._flat_keys],
+            dtype=np.float64)
+        # Caches driven by the dirty set: Eq. 1 weight rows per uid and
+        # the per-uid best selected probability of the Eq. 3 test.
+        self._weight_rows = {}
+        self._weight_dirty = set(self._uids)
+        self._best_sp = {}
+        self._conv_dirty = set(self._uids)
+
+    # -- cache invalidation -------------------------------------------------
+
+    def _touch(self, uid):
+        """Mark one operation's derived caches stale."""
+        self._weight_dirty.add(uid)
+        self._conv_dirty.add(uid)
+
+    def _touch_all(self):
+        """Mark every operation's derived caches stale (bulk updates)."""
+        self._weight_dirty.update(self._uids)
+        self._conv_dirty.update(self._uids)
 
     # -- access -----------------------------------------------------------
 
     def option(self, uid, label):
         """Look up one option of ``uid`` by label."""
-        for option in self.options[uid]:
-            if option.label == label:
-                return option
-        raise ExplorationError(
-            "operation {} has no option {!r}".format(uid, label))
+        option = self._option_map.get((uid, label))
+        if option is None:
+            raise ExplorationError(
+                "operation {} has no option {!r}".format(uid, label))
+        return option
 
     def hardware_options(self, uid):
         """The hardware options of operation ``uid``."""
@@ -76,31 +199,43 @@ class ExplorationState:
 
         Returns a list of ``((uid, option), weight)``.  Weights are
         clipped to a tiny positive floor so the roulette wheel is always
-        well defined (Eq. 1 divides by their sum).
+        well defined (Eq. 1 divides by their sum).  Rows come from the
+        incremental Ready-Matrix cache: they are rebuilt only for
+        operations whose trail or merit changed since the last draw.
         """
-        params = self.params
+        rows = self._cp_rows()
         entries = []
         for uid in ready_uids:
-            sp = self.sp_term.get(uid, 0.0)
-            for option in self.options[uid]:
-                key = (uid, option.label)
-                weight = (params.alpha * self.trail[key]
-                          + (1.0 - params.alpha) * self.merit[key]
-                          + params.lam * sp)
-                entries.append(((uid, option), max(weight, 1e-12)))
+            entries.extend(rows[uid])
         return entries
+
+    def _cp_rows(self):
+        """Per-uid Eq. 1 weight rows, refreshed for dirty uids only."""
+        if self._weight_dirty:
+            params = self.params
+            weights = (params.alpha * self._trail_vec
+                       + (1.0 - params.alpha) * self._merit_vec
+                       + params.lam * self._sp_vec)
+            np.maximum(weights, _WEIGHT_FLOOR, out=weights)
+            flat = weights.tolist()
+            for uid in self._weight_dirty:
+                offset, stop = self._span[uid]
+                self._weight_rows[uid] = list(
+                    zip(self._pairs_of[uid], flat[offset:stop]))
+            self._weight_dirty.clear()
+        return self._weight_rows
 
     # -- Eq. 3: selected probability per operation ---------------------------
 
     def sp_of(self, uid):
         """Per-option selected probabilities of one operation (Eq. 3)."""
         params = self.params
+        offset, stop = self._span[uid]
+        values = (params.alpha * self._trail_vec[offset:stop]
+                  + (1.0 - params.alpha) * self._merit_vec[offset:stop])
         numerators = {}
-        for option in self.options[uid]:
-            key = (uid, option.label)
-            value = (params.alpha * self.trail[key]
-                     + (1.0 - params.alpha) * self.merit[key])
-            numerators[option.label] = max(value, 0.0)
+        for option, value in zip(self.options[uid], values.tolist()):
+            numerators[option.label] = value if value > 0.0 else 0.0
         total = sum(numerators.values())
         if total <= 0.0:
             uniform = 1.0 / len(numerators)
@@ -114,21 +249,83 @@ class ExplorationState:
         return self.option(uid, label), sp[label]
 
     def converged(self):
-        """End condition: every operation has an option with sp ≥ P_END."""
+        """End condition: every operation has an option with sp ≥ P_END.
+
+        Dirty-flag tracked: only operations whose trail/merit changed
+        since the previous call are re-checked.
+        """
+        if self._conv_dirty:
+            self._refresh_best_sp()
         p_end = self.params.p_end
-        for uid in self.options:
-            __, best = self.taken_option(uid)
-            if best < p_end:
-                return False
-        return True
+        return all(best >= p_end for best in self._best_sp.values())
+
+    def _refresh_best_sp(self):
+        """Recompute the cached best selected probability of dirty uids."""
+        params = self.params
+        values = (params.alpha * self._trail_vec
+                  + (1.0 - params.alpha) * self._merit_vec)
+        flat = values.tolist()
+        for uid in self._conv_dirty:
+            offset, stop = self._span[uid]
+            best = 0.0
+            total = 0.0
+            for value in flat[offset:stop]:
+                if value < 0.0:
+                    value = 0.0
+                total += value
+                if value > best:
+                    best = value
+            if total <= 0.0:
+                self._best_sp[uid] = 1.0 / (stop - offset)
+            else:
+                self._best_sp[uid] = best / total
+        self._conv_dirty.clear()
+
+    # -- bulk updates used by the trail/merit rules -------------------------
+
+    def apply_trail_update(self, chosen_label_of, moved_uids, improved):
+        """Vectorised Fig. 4.3.5 trail update.
+
+        ``chosen_label_of`` maps every uid to the label its ant chose
+        this iteration; ``moved_uids`` are the operations whose draw
+        order moved earlier in a regressing iteration.  Elementwise adds
+        match the per-key updates exactly.
+        """
+        params = self.params
+        index = self._flat_index
+        chosen = np.zeros(len(self._flat_keys), dtype=bool)
+        for uid, label in chosen_label_of.items():
+            chosen[index[(uid, label)]] = True
+        trail = self._trail_vec
+        if improved:
+            trail[chosen] += params.rho1
+            trail[~chosen] -= params.rho2
+        else:
+            trail[chosen] -= params.rho3
+            trail[~chosen] += params.rho4
+            if moved_uids:
+                slots = []
+                for uid in moved_uids:
+                    offset, stop = self._span[uid]
+                    slots.extend(range(offset, stop))
+                trail[slots] -= params.rho5
+        self.clip_trails()
+
+    def multiply_software_merits(self):
+        """§4.3 software merit: multiply by the option's execution time
+        (Eq. for merit_{x,SW-i}); with the per-op normalisation this
+        biases toward options proportionally to their latency
+        contribution."""
+        if self._sw_slots.size:
+            self._merit_vec[self._sw_slots] *= self._sw_cycles
+            self._touch_all()
 
     # -- maintenance ------------------------------------------------------------
 
     def clip_trails(self):
         """Trails never go negative (keeps Eq. 1/3 well-formed)."""
-        for key, value in self.trail.items():
-            if value < 0.0:
-                self.trail[key] = 0.0
+        np.maximum(self._trail_vec, 0.0, out=self._trail_vec)
+        self._touch_all()
 
     def normalize_merits(self):
         """Rescale each operation's merit vector to the configured scale.
@@ -139,16 +336,20 @@ class ExplorationState:
         sum to ``merit_scale × #options`` with a floor per option.
         """
         params = self.params
-        for uid, opts in self.options.items():
-            keys = [(uid, option.label) for option in opts]
-            total = sum(self.merit[key] for key in keys)
-            target = params.merit_scale * len(keys)
+        merit = self._merit_vec
+        flat = merit.tolist()
+        for uid in self._uids:
+            offset, stop = self._span[uid]
+            total = 0.0
+            for value in flat[offset:stop]:
+                total += value
+            count = stop - offset
+            target = params.merit_scale * count
             if total <= 0.0:
-                value = params.merit_scale
-                for key in keys:
-                    self.merit[key] = value
+                merit[offset:stop] = params.merit_scale
                 continue
             factor = target / total
-            for key in keys:
-                self.merit[key] = max(self.merit[key] * factor,
-                                      params.merit_floor)
+            segment = merit[offset:stop] * factor
+            np.maximum(segment, params.merit_floor, out=segment)
+            merit[offset:stop] = segment
+        self._touch_all()

@@ -29,27 +29,14 @@ def update_trails(state, schedule, prev_order, tet_old):
         Reference TET (``None`` on the first iteration — treated as an
         improvement so the first solution is reinforced).
     """
-    params = state.params
     tet_new = schedule.makespan
     improved = tet_old is None or tet_new <= tet_old
-    for uid, options in state.options.items():
-        chosen_label = schedule.chosen[uid].label
-        moved_earlier = (
-            uid in prev_order
-            and schedule.order[uid] < prev_order[uid])
-        for option in options:
-            key = (uid, option.label)
-            if improved:
-                if option.label == chosen_label:
-                    state.trail[key] += params.rho1
-                else:
-                    state.trail[key] -= params.rho2
-            else:
-                if option.label == chosen_label:
-                    state.trail[key] -= params.rho3
-                else:
-                    state.trail[key] += params.rho4
-                if moved_earlier:
-                    state.trail[key] -= params.rho5
-    state.clip_trails()
+    chosen_label_of = {uid: schedule.chosen[uid].label
+                       for uid in state.options}
+    moved_uids = ()
+    if not improved:
+        moved_uids = [uid for uid in state.options
+                      if uid in prev_order
+                      and schedule.order[uid] < prev_order[uid]]
+    state.apply_trail_update(chosen_label_of, moved_uids, improved)
     return tet_new if improved else tet_old

@@ -9,9 +9,94 @@ exploration runs; the DFG itself is reproducible from the workload
 name.
 """
 
+import hashlib
 import json
+import os
+import pickle
 
 from ..errors import ReproError
+
+#: Set to ``0`` to disable the on-disk exploration cache.
+CACHE_ENV = "REPRO_CACHE"
+#: Overrides the cache directory (default ``./.repro_cache``).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump when the pickled ``ExploredApplication`` layout changes; stale
+#: schema versions simply miss instead of unpickling garbage.
+_CACHE_SCHEMA = 1
+
+
+class ExplorationCache:
+    """On-disk cache of :class:`~repro.core.flow.ExploredApplication`.
+
+    Exploration dominates every evaluation sweep, yet its result is a
+    pure function of (workload, machine, opt level, algorithm,
+    exploration parameters, seed).  This cache pickles the explored
+    bundle under a digest of exactly those inputs so repeated pytest
+    sessions, CLI runs and notebooks skip straight to selection.
+
+    Enabled by default; set ``REPRO_CACHE=0`` to disable, or
+    ``REPRO_CACHE_DIR`` to relocate from ``./.repro_cache``.  Stale
+    entries are invalidated by their key: any change to the parameters
+    (or to ``_CACHE_SCHEMA`` on layout changes) produces a different
+    digest, and corrupt or unreadable files are treated as misses.
+    """
+
+    def __init__(self, directory=None, enabled=None):
+        if enabled is None:
+            enabled = os.environ.get(CACHE_ENV, "1").strip().lower() \
+                not in ("0", "false", "no", "off")
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV, ".repro_cache")
+        self.directory = directory
+        self.enabled = enabled
+
+    @staticmethod
+    def key(**fields):
+        """Stable digest of the exploration inputs.
+
+        ``fields`` must be JSON-able (params objects can be passed as
+        their ``vars()`` dict); the schema version is mixed in so
+        layout bumps invalidate every old entry at once.
+        """
+        fields["_schema"] = _CACHE_SCHEMA
+        text = json.dumps(fields, sort_keys=True, default=repr)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+    def path_for(self, key):
+        """File backing one cache entry."""
+        return os.path.join(self.directory, key + ".pkl")
+
+    def load(self, key):
+        """The cached payload, or ``None`` on any kind of miss."""
+        if not self.enabled:
+            return None
+        try:
+            with open(self.path_for(key), "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    def store(self, key, payload):
+        """Atomically persist ``payload`` under ``key``."""
+        if not self.enabled:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(key)
+        scratch = path + ".tmp.{}".format(os.getpid())
+        try:
+            with open(scratch, "wb") as handle:
+                pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(scratch, path)
+        except OSError:
+            # Caching is best-effort: an unwritable directory must not
+            # fail the evaluation that produced the payload.
+            if os.path.exists(scratch):
+                try:
+                    os.remove(scratch)
+                except OSError:
+                    pass
 
 
 def candidate_record(candidate):

@@ -27,6 +27,7 @@ from ..core.flow import ISEDesignFlow
 from ..errors import ReproError
 from ..sched.machine import MachineConfig
 from ..workloads import all_workloads, get_workload
+from .persistence import ExplorationCache
 
 PROFILES = {
     "quick": dict(max_iterations=80, restarts=1, max_rounds=12,
@@ -48,7 +49,8 @@ def default_profile():
 class EvalContext:
     """Caches explorations; serves budget-sweep evaluations."""
 
-    def __init__(self, profile=None, seed=7, workload_names=None):
+    def __init__(self, profile=None, seed=7, workload_names=None,
+                 jobs=None, disk_cache=None):
         profile = profile or default_profile()
         if profile not in PROFILES:
             raise ReproError(
@@ -56,6 +58,7 @@ class EvalContext:
                     profile, sorted(PROFILES)))
         self.profile = profile
         self.seed = seed
+        self.jobs = jobs
         settings = PROFILES[profile]
         self.params = ExplorationParams(
             max_iterations=settings["max_iterations"],
@@ -65,6 +68,12 @@ class EvalContext:
         if workload_names is None:
             workload_names = [w.name for w in all_workloads()]
         self.workload_names = list(workload_names)
+        if not self.workload_names:
+            raise ReproError(
+                "EvalContext needs at least one workload; got an empty "
+                "workload_names list")
+        self.disk_cache = ExplorationCache() if disk_cache is None \
+            else disk_cache
         self._cache = {}
         self._programs = {}
 
@@ -85,16 +94,35 @@ class EvalContext:
             raise ReproError("unknown algorithm {!r}".format(algorithm))
         return ISEDesignFlow(
             machine, params=self.params, seed=self.seed,
-            max_blocks=self.max_blocks, explorer_factory=factory)
+            max_blocks=self.max_blocks, explorer_factory=factory,
+            jobs=self.jobs)
+
+    def _disk_key(self, workload_name, machine, opt_level, algorithm):
+        return self.disk_cache.key(
+            workload=workload_name, machine=machine.label,
+            opt=opt_level, algorithm=algorithm, profile=self.profile,
+            params=vars(self.params), seed=self.seed,
+            max_blocks=self.max_blocks)
 
     def explored(self, workload_name, machine, opt_level, algorithm="MI"):
-        """Cached ``(flow, ExploredApplication)`` for one cell."""
+        """Cached ``(flow, ExploredApplication)`` for one cell.
+
+        Results are memoised in-process and, unless ``REPRO_CACHE=0``,
+        persisted to disk keyed by every input that determines the
+        exploration outcome — so a second session with identical
+        settings skips the ACO runs entirely.
+        """
         key = (workload_name, machine.label, opt_level, algorithm)
         if key not in self._cache:
-            program, args = self._program(workload_name)
             flow = self._flow(machine, algorithm)
-            explored = flow.explore_application(
-                program, args=args, opt_level=opt_level)
+            disk_key = self._disk_key(
+                workload_name, machine, opt_level, algorithm)
+            explored = self.disk_cache.load(disk_key)
+            if explored is None:
+                program, args = self._program(workload_name)
+                explored = flow.explore_application(
+                    program, args=args, opt_level=opt_level)
+                self.disk_cache.store(disk_key, explored)
             self._cache[key] = (flow, explored)
         return self._cache[key]
 

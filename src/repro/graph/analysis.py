@@ -51,6 +51,146 @@ def output_values(dfg, members):
     return values
 
 
+class _IODelta:
+    """One previewed membership addition of a :class:`SubgraphIOTracker`.
+
+    Carries the would-be ``IN``/``OUT`` sizes plus everything needed to
+    commit the addition without recomputing it.
+    """
+
+    __slots__ = ("uid", "n_in", "n_out", "delta_in", "delta_out",
+                 "escapes", "stops_escaping", "succ_members")
+
+    def __init__(self, uid, n_in, n_out, delta_in, delta_out,
+                 escapes, stops_escaping, succ_members):
+        self.uid = uid
+        self.n_in = n_in
+        self.n_out = n_out
+        self.delta_in = delta_in
+        self.delta_out = delta_out
+        self.escapes = escapes
+        self.stops_escaping = stops_escaping
+        self.succ_members = succ_members
+
+
+class SubgraphIOTracker:
+    """Incremental ``IN(S)``/``OUT(S)`` sizes of a growing member set.
+
+    Mirrors :func:`input_values`/:func:`output_values` exactly, but
+    updates in O(degree) per added member instead of rebuilding from the
+    whole set: per value name it counts *contributions* — (member,
+    crossing edge) pairs and external block inputs for ``IN``, escaping
+    producers for ``OUT`` — so names defined by several producers (the
+    DFG is not SSA) stay counted while any external source remains.
+
+    :meth:`preview_add` computes the grown sizes without mutating, so a
+    caller (cluster fusion in the iteration scheduler) can reject the
+    growth and keep the tracker valid; :meth:`commit` applies a
+    previously previewed delta.
+    """
+
+    __slots__ = ("dfg", "members", "_in_count", "_out_count", "_escaping",
+                 "n_in", "n_out")
+
+    def __init__(self, dfg):
+        self.dfg = dfg
+        self.members = set()
+        self._in_count = {}       # value -> #external contributions
+        self._out_count = {}      # value -> #escaping producers
+        self._escaping = set()
+        self.n_in = 0
+        self.n_out = 0
+
+    def _escapes(self, uid, members):
+        """True when ``uid``'s value must leave ``members`` (§4.2 OUT)."""
+        dfg = self.dfg
+        if dfg.is_output(uid):
+            return True
+        return any(succ not in members for succ in dfg.data_successors(uid))
+
+    def preview_add(self, uid):
+        """Sizes of IN/OUT after adding ``uid``, without committing."""
+        dfg = self.dfg
+        members = self.members
+        new_members = members | {uid}
+        edges = dfg.graph.edges
+        # IN: edges uid -> member stop crossing; uid's own external
+        # inputs and crossing in-edges start counting.
+        delta_in = {}
+        succ_members = []
+        for succ in dfg.data_successors(uid):
+            if succ in members:
+                succ_members.append(succ)
+                for value in edges[uid, succ]["values"]:
+                    delta_in[value] = delta_in.get(value, 0) - 1
+        for value in dfg.external_inputs(uid):
+            delta_in[value] = delta_in.get(value, 0) + 1
+        for pred in dfg.data_predecessors(uid):
+            if pred not in new_members:
+                for value in edges[pred, uid]["values"]:
+                    delta_in[value] = delta_in.get(value, 0) + 1
+        n_in = self.n_in
+        for value, delta in delta_in.items():
+            old = self._in_count.get(value, 0)
+            new = old + delta
+            if old > 0 and new <= 0:
+                n_in -= 1
+            elif old <= 0 and new > 0:
+                n_in += 1
+        # OUT: uid may escape; member data-predecessors of uid may stop
+        # escaping (uid was their last outside consumer).
+        delta_out = {}
+        escapes = self._escapes(uid, new_members)
+        if escapes:
+            for value in dfg.op(uid).dests:
+                delta_out[value] = delta_out.get(value, 0) + 1
+        stops_escaping = []
+        for pred in dfg.data_predecessors(uid):
+            if pred in self._escaping and not self._escapes(pred,
+                                                            new_members):
+                stops_escaping.append(pred)
+                for value in dfg.op(pred).dests:
+                    delta_out[value] = delta_out.get(value, 0) - 1
+        n_out = self.n_out
+        for value, delta in delta_out.items():
+            old = self._out_count.get(value, 0)
+            new = old + delta
+            if old > 0 and new <= 0:
+                n_out -= 1
+            elif old <= 0 and new > 0:
+                n_out += 1
+        return _IODelta(uid, n_in, n_out, delta_in, delta_out,
+                        escapes, stops_escaping, succ_members)
+
+    def commit(self, delta):
+        """Apply a delta produced by :meth:`preview_add`."""
+        for value, change in delta.delta_in.items():
+            new = self._in_count.get(value, 0) + change
+            if new:
+                self._in_count[value] = new
+            else:
+                self._in_count.pop(value, None)
+        for value, change in delta.delta_out.items():
+            new = self._out_count.get(value, 0) + change
+            if new:
+                self._out_count[value] = new
+            else:
+                self._out_count.pop(value, None)
+        if delta.escapes:
+            self._escaping.add(delta.uid)
+        for uid in delta.stops_escaping:
+            self._escaping.discard(uid)
+        self.members.add(delta.uid)
+        self.n_in = delta.n_in
+        self.n_out = delta.n_out
+
+    def add(self, uid):
+        """Preview-and-commit in one step; returns the applied delta."""
+        delta = self.preview_add(uid)
+        self.commit(delta)
+        return delta
+
+
 def is_convex(dfg, members):
     """§4.2 convexity: no path between two members leaves the subgraph.
 

@@ -50,6 +50,60 @@ def subgraph_cycles(graph, nodes, option_of, technology=None):
     return tech.cycles_for_delay(subgraph_delay_ns(graph, nodes, option_of))
 
 
+class IncrementalDelay:
+    """Incrementally maintained :func:`subgraph_delay_ns` of a growing set.
+
+    The ACO iteration scheduler only ever grows a cluster by a node
+    whose successors are not yet members (the ant draws operations in a
+    topological order), so each addition is a *sink* of the induced
+    subgraph: existing arrival times never change and the new node's
+    arrival is ``max(arrival of member predecessors) + its delay`` —
+    exactly the recurrence of the batch computation, hence bit-identical
+    results.  :meth:`preview_add` returns the would-be critical path
+    without mutating; :meth:`commit` applies it.  For the (unexpected)
+    non-sink case :meth:`rebuild` recomputes from scratch.
+    """
+
+    __slots__ = ("graph", "longest", "delay_ns")
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.longest = {}        # member -> arrival incl. own delay
+        self.delay_ns = 0.0
+
+    def preview_add(self, uid, delay_ns):
+        """``(arrival, critical path)`` after adding ``uid``; no mutation.
+
+        Only valid while no successor of ``uid`` is a member (the
+        caller checks; otherwise use :meth:`rebuild` after growing).
+        """
+        arrival = 0.0
+        longest = self.longest
+        for pred in self.graph.predecessors(uid):
+            value = longest.get(pred)
+            if value is not None and value > arrival:
+                arrival = value
+        total = arrival + delay_ns
+        return total, total if total > self.delay_ns else self.delay_ns
+
+    def commit(self, uid, arrival, delay_ns):
+        """Apply a previously previewed addition."""
+        self.longest[uid] = arrival
+        self.delay_ns = delay_ns
+
+    def rebuild(self, members, option_of):
+        """Recompute all arrivals from scratch (non-sink growth)."""
+        self.longest = {}
+        for node in _topological(self.graph, set(members)):
+            arrival = 0.0
+            for pred in self.graph.predecessors(node):
+                value = self.longest.get(pred)
+                if value is not None and value > arrival:
+                    arrival = value
+            self.longest[node] = arrival + option_of(node).delay_ns
+        self.delay_ns = max(self.longest.values())
+
+
 def _topological(graph, members):
     """Topological order of ``members`` within the DAG ``graph``."""
     indegree = {}
