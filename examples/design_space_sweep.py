@@ -8,6 +8,10 @@ a set of area budgets on a media-ish workload mix (adpcm + jpeg) and
 prints the reduction matrix, so the trade-off the paper argues about is
 visible in one table.
 
+Built on the stable public API: each (workload, machine) cell is
+explored once with ``repro.explore`` and the budget sweep reuses the
+frozen :class:`repro.ExploreResult` through ``repro.evaluate``.
+
 Usage::
 
     python examples/design_space_sweep.py [--quick]
@@ -15,8 +19,8 @@ Usage::
 
 import sys
 
-from repro import ISEConstraints
-from repro.eval import EvalContext, machine_for_case
+from repro import evaluate, explore
+from repro.eval import default_profile
 from repro.sched.machine import PAPER_CASES
 
 BUDGETS = (20_000, 80_000, 320_000)
@@ -24,9 +28,7 @@ WORKLOADS = ("adpcm", "jpeg")
 
 
 def main():
-    profile = "quick" if "--quick" in sys.argv else None
-    ctx = EvalContext(profile=profile, workload_names=list(WORKLOADS),
-                      seed=11)
+    profile = "quick" if "--quick" in sys.argv else default_profile()
     header = "{:16s}".format("machine")
     header += "".join("{:>14}".format("{}um2".format(b)) for b in BUDGETS)
     print("Execution-time reduction, mean over {} (O3, MI explorer)"
@@ -35,15 +37,21 @@ def main():
     print("-" * len(header))
     best = (None, -1.0)
     for ports, issue in PAPER_CASES:
-        machine = machine_for_case(ports, issue)
+        label = "({}, {}IS)".format(ports, issue)
+        explored = [explore(name, issue=issue, ports=ports,
+                            profile=profile, seed=11)
+                    for name in WORKLOADS]
         cells = []
         for budget in BUDGETS:
-            value = ctx.average_reduction(
-                machine, "O3", "MI", ISEConstraints(max_area=budget))
+            reductions = [
+                100.0 * evaluate(result, max_area=budget).reduction
+                for result in explored
+            ]
+            value = sum(reductions) / len(reductions)
             cells.append(value)
             if value > best[1]:
-                best = ("{} @ {} um2".format(machine.label, budget), value)
-        print("{:16s}".format(machine.label)
+                best = ("{} @ {} um2".format(label, budget), value)
+        print("{:16s}".format(label)
               + "".join("{:>13.2f}%".format(v) for v in cells))
     print("\nBest cell: {} ({:.2f}% reduction)".format(*best))
 

@@ -3,48 +3,44 @@
 
 Runs the complete design flow of the paper — profile, hot-block
 selection, ACO exploration, merging, greedy selection with hardware
-sharing, replacement, rescheduling — and prints what it found.
+sharing, replacement, rescheduling — through the stable public API
+(``repro.explore`` / ``repro.evaluate``) and prints what it found.
+Pass a trace path to watch the ACO colonies converge::
 
-Usage::
-
-    python examples/quickstart.py [workload]
+    python examples/quickstart.py [workload] [trace.jsonl]
+    python -m repro metrics trace.jsonl
 """
 
 import sys
 
-from repro import (
-    ISEConstraints,
-    ISEDesignFlow,
-    MachineConfig,
-    get_workload,
-)
+from repro import evaluate, explore
 
 
 def main():
     name = sys.argv[1] if len(sys.argv) > 1 else "crc32"
-    workload = get_workload(name)
-    program, args = workload.build()
+    trace = sys.argv[2] if len(sys.argv) > 2 else None
 
-    machine = MachineConfig(issue_width=2, register_file="4/2")
-    flow = ISEDesignFlow(machine, seed=42)
-
-    print("Workload: {} — {}".format(workload.name, workload.description))
-    print("Machine:  {}".format(machine))
+    print("Workload: {}".format(name))
+    print("Machine:  2-issue, RF 4/2")
     print("Exploring (profile, hot blocks, ACO)...")
-    explored = flow.explore_application(program, args=args, opt_level="O3")
+    result = explore(name, issue=2, ports="4/2", profile="quick",
+                     seed=42, trace=trace)
 
     print("\n{} candidates found in the hot blocks:".format(
-        len(explored.candidates)))
-    for candidate in explored.candidates:
-        print("  {}".format(candidate.describe()))
+        result.num_candidates))
+    for description in result.candidates:
+        print("  {}".format(description))
 
     for budget in (20_000, 80_000, 320_000):
-        report = flow.evaluate(
-            explored, ISEConstraints(max_area=budget))
+        selection = evaluate(result, max_area=budget)
         print("\nArea budget {:>7} um2: {} -> {} cycles "
               "({:.2%} reduction, {} ISEs, {:.0f} um2 used)".format(
-                  budget, report.baseline_cycles, report.final_cycles,
-                  report.reduction, report.num_ises, report.area))
+                  budget, selection.baseline_cycles,
+                  selection.final_cycles, selection.reduction,
+                  selection.num_ises, selection.area))
+    if trace:
+        print("\nTrace written to {} — summarise it with "
+              "`python -m repro metrics {}`".format(trace, trace))
 
 
 if __name__ == "__main__":

@@ -10,14 +10,17 @@ database, a multi-issue list scheduler, the complete ISE design flow
 SI/greedy/exact comparators, the seven benchmark kernels, and the
 chapter-5 experiment harness.
 
-Quickstart::
+Quickstart — the stable public API (:mod:`repro.api`)::
 
-    from repro import MachineConfig, ISEDesignFlow, get_workload
+    from repro import explore, evaluate
 
-    program, args = get_workload("crc32").build()
-    flow = ISEDesignFlow(MachineConfig(2, "4/2"))
-    report = flow.run(program, args=args, opt_level="O3")
-    print(report)          # cycles, reduction, selected ISEs, area
+    result = explore("crc32", issue=2, ports="4/2", seed=42)
+    best = evaluate(result, max_area=80_000)
+    print(best.reduction, best.ises)
+
+The engine classes (:class:`ISEDesignFlow` & co.) remain importable for
+advanced use, and every run can stream a JSON-lines observability trace
+(``explore(..., trace="run.jsonl")``; see :mod:`repro.obs`).
 """
 
 from .config import (
@@ -36,8 +39,17 @@ from .core import (
 )
 from .baselines import ExactExplorer, GreedyExplorer, SingleIssueExplorer
 from .workloads import all_workloads, get_workload, workload_names
+from .obs import (
+    NULL_OBSERVER,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    Observer,
+    ProgressSink,
+)
+from .api import ExploreResult, SelectionResult, evaluate, explore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_CONSTRAINTS",
@@ -46,16 +58,26 @@ __all__ = [
     "DEFAULT_TECHNOLOGY",
     "ExactExplorer",
     "ExplorationParams",
+    "ExploreResult",
     "GreedyExplorer",
     "ISECandidate",
     "ISEConstraints",
     "ISEDesignFlow",
+    "JsonlSink",
     "MachineConfig",
+    "MemorySink",
+    "MetricsRegistry",
     "MultiIssueExplorer",
+    "NULL_OBSERVER",
+    "Observer",
+    "ProgressSink",
     "ReproError",
+    "SelectionResult",
     "SingleIssueExplorer",
     "Technology",
     "all_workloads",
+    "evaluate",
+    "explore",
     "get_workload",
     "paper_machines",
     "workload_names",

@@ -16,16 +16,31 @@ Commands
     ISEs highlighted.
 ``gantt``
     Print the before/after issue bundles of the hottest block.
+``metrics``
+    Summarise a JSON-lines observability trace written via ``--trace``.
+
+``explore`` and ``selftest`` accept ``--trace PATH`` (stream a JSON-lines
+event trace), ``--metrics`` (print the counters/timers registry after the
+run) and ``--progress`` (human one-liners on stderr while exploring).
 """
 
 import argparse
 import sys
 
+from . import api
 from .config import ExplorationParams, ISEConstraints
 from .core.flow import ISEDesignFlow
 from .eval.reporting import render_table_5_1_1
 from .graph.export import dfg_to_dot
 from .hwlib import DEFAULT_DATABASE
+from .obs import (
+    JsonlSink,
+    Observer,
+    ProgressSink,
+    load_trace,
+    render_summary,
+    summarize_trace,
+)
 from .sched.machine import MachineConfig
 from .workloads import all_workloads, get_workload
 
@@ -50,6 +65,37 @@ def _add_effort_args(parser):
                              "are identical at any setting")
 
 
+def _add_obs_args(parser):
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSON-lines observability trace "
+                             "(summarise with 'repro metrics PATH')")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the counters/timers registry after "
+                             "the run")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream human-readable progress to stderr")
+
+
+def _observer_from_args(args):
+    """An :class:`Observer` for the requested flags, or ``None``."""
+    sinks = []
+    if getattr(args, "trace", None):
+        sinks.append(JsonlSink(args.trace))
+    if getattr(args, "progress", False):
+        sinks.append(ProgressSink())
+    if sinks or getattr(args, "metrics", False):
+        return Observer(sinks=sinks)
+    return None
+
+
+def _finish_observer(args, observer):
+    if observer is None:
+        return
+    observer.close()
+    if getattr(args, "metrics", False):
+        print(observer.metrics.render())
+
+
 def _flow_from_args(args):
     machine = MachineConfig(args.issue, args.ports)
     params = ExplorationParams(max_iterations=args.iterations,
@@ -72,23 +118,27 @@ def _cmd_table(args):
 
 
 def _cmd_explore(args):
-    workload = get_workload(args.workload)
-    program, run_args = workload.build()
-    flow = _flow_from_args(args)
-    explored = flow.explore_application(program, args=run_args,
-                                        opt_level=args.opt)
-    constraints = ISEConstraints(
-        max_area=args.area, max_ises=args.max_ises)
-    report = flow.evaluate(explored, constraints)
-    print("workload : {} ({})".format(workload.name, args.opt))
-    print("machine  : {}-issue, RF {}".format(args.issue, args.ports))
-    print("baseline : {} cycles".format(report.baseline_cycles))
-    print("with ISE : {} cycles".format(report.final_cycles))
-    print("reduction: {:.2%}".format(report.reduction))
-    print("selected : {} ISE(s), {:.0f} um2".format(
-        report.num_ises, report.area))
-    for entry in report.selection.selected:
-        print("  " + entry.representative.describe())
+    observer = _observer_from_args(args)
+    try:
+        result = api.explore(
+            args.workload, issue=args.issue, ports=args.ports,
+            profile=None, iterations=args.iterations,
+            restarts=args.restarts, jobs=args.jobs, seed=args.seed,
+            opt=args.opt, observer=observer)
+        selection = api.evaluate(result, max_area=args.area,
+                                 max_ises=args.max_ises,
+                                 observer=observer)
+        print("workload : {} ({})".format(result.workload, args.opt))
+        print("machine  : {}-issue, RF {}".format(args.issue, args.ports))
+        print("baseline : {} cycles".format(selection.baseline_cycles))
+        print("with ISE : {} cycles".format(selection.final_cycles))
+        print("reduction: {:.2%}".format(selection.reduction))
+        print("selected : {} ISE(s), {:.0f} um2".format(
+            selection.num_ises, selection.area))
+        for description in selection.ises:
+            print("  " + description)
+    finally:
+        _finish_observer(args, observer)
     return 0
 
 
@@ -98,20 +148,31 @@ def _cmd_selftest(args):
     from .ir.passes import optimize
     from .workloads import all_workloads, extra_workloads
 
-    del args
+    observer = _observer_from_args(args)
     failures = 0
-    for workload in all_workloads() + extra_workloads():
-        program, run_args = workload.build()
-        expected = workload.reference()
-        for level in ("O0", "O3"):
-            candidate = optimize(program, level) if level != "O0" \
-                else program
-            result, __, ___ = run_program(candidate, args=run_args)
-            ok = result == expected
-            failures += 0 if ok else 1
-            print("{:10s} {}: {}".format(
-                workload.name, level, "ok" if ok else
-                "FAIL ({:#x} != {:#x})".format(result, expected)))
+    try:
+        for workload in all_workloads() + extra_workloads():
+            program, run_args = workload.build()
+            expected = workload.reference()
+            for level in ("O0", "O3"):
+                candidate = optimize(program, level) if level != "O0" \
+                    else program
+                result, __, ___ = run_program(candidate, args=run_args)
+                ok = result == expected
+                failures += 0 if ok else 1
+                if observer:
+                    observer.event("selftest", workload=workload.name,
+                                   level=level, ok=ok)
+                    observer.count("selftest.checks")
+                    if not ok:
+                        observer.count("selftest.failures")
+                print("{:10s} {}: {}".format(
+                    workload.name, level, "ok" if ok else
+                    "FAIL ({:#x} != {:#x})".format(result, expected)))
+        if observer:
+            observer.gauge("selftest.failures_total", failures)
+    finally:
+        _finish_observer(args, observer)
     print("selftest: {}".format("all ok" if failures == 0
                                 else "{} failure(s)".format(failures)))
     return 0 if failures == 0 else 1
@@ -164,6 +225,13 @@ def _cmd_manual(args):
     return 0
 
 
+def _cmd_metrics(args):
+    """Summarise a JSON-lines observability trace."""
+    records = load_trace(args.trace)
+    print(render_summary(summarize_trace(records)))
+    return 0
+
+
 def _cmd_dot(args):
     workload = get_workload(args.workload)
     program, run_args = workload.build()
@@ -193,10 +261,11 @@ def build_parser():
         .set_defaults(func=_cmd_workloads)
     sub.add_parser("table", help="print Table 5.1.1") \
         .set_defaults(func=_cmd_table)
-    sub.add_parser(
+    selftest = sub.add_parser(
         "selftest",
-        help="check every workload against its reference at O0/O3") \
-        .set_defaults(func=_cmd_selftest)
+        help="check every workload against its reference at O0/O3")
+    _add_obs_args(selftest)
+    selftest.set_defaults(func=_cmd_selftest)
 
     explore = sub.add_parser("explore", help="run the design flow")
     explore.add_argument("workload")
@@ -207,7 +276,13 @@ def build_parser():
                          help="ISE count budget (unused opcodes)")
     _add_machine_args(explore)
     _add_effort_args(explore)
+    _add_obs_args(explore)
     explore.set_defaults(func=_cmd_explore)
+
+    metrics = sub.add_parser(
+        "metrics", help="summarise a JSON-lines observability trace")
+    metrics.add_argument("trace", help="trace file written via --trace")
+    metrics.set_defaults(func=_cmd_metrics)
 
     dot = sub.add_parser("dot", help="DOT of the hottest block + ISEs")
     dot.add_argument("workload")

@@ -29,6 +29,7 @@ from ..errors import ExplorationError
 from ..hwlib.database import DEFAULT_DATABASE
 from ..hwlib.options import default_io_table
 from ..hwlib.technology import DEFAULT_TECHNOLOGY
+from ..obs import ensure_observer
 from ..sched.list_scheduler import list_schedule
 from ..sched.units import contract_dfg
 from .candidate import ISECandidate
@@ -82,7 +83,7 @@ class MultiIssueExplorer:
 
     def __init__(self, machine, params=None, constraints=None,
                  database=None, technology=None, seed=0,
-                 priority="children", jobs=None):
+                 priority="children", jobs=None, obs=None):
         self.machine = machine
         self.params = params or DEFAULT_PARAMS
         constraints = constraints or DEFAULT_CONSTRAINTS
@@ -97,6 +98,11 @@ class MultiIssueExplorer:
         self.seed = seed
         self.priority = priority
         self.jobs = jobs
+        #: Observability context; the falsy NULL_OBSERVER by default so
+        #: hook sites cost one boolean check.  Pickles by configuration
+        #: — worker-side calls land in the capture buffer and are
+        #: replayed by the parent (see :mod:`repro.core.parallel`).
+        self.obs = ensure_observer(obs)
 
     # -- public API -------------------------------------------------------
 
@@ -119,7 +125,7 @@ class MultiIssueExplorer:
             results = parallel_map(
                 _restart_task,
                 [(self, dfg, io_tables, restart) for restart in restarts],
-                jobs)
+                jobs, obs=self.obs)
         else:
             results = (self._explore_restart(dfg, io_tables, restart)
                        for restart in restarts)
@@ -142,7 +148,7 @@ class MultiIssueExplorer:
         tasks = [(self, dfg, tables[index], restart)
                  for index, dfg in enumerate(dfgs)
                  for restart in restarts]
-        flat = parallel_map(_restart_task, tasks, jobs)
+        flat = parallel_map(_restart_task, tasks, jobs, obs=self.obs)
         count = len(restarts)
         return [self._best_of(flat[index * count:(index + 1) * count])
                 for index in range(len(dfgs))]
@@ -157,7 +163,12 @@ class MultiIssueExplorer:
         """One independent restart with its derived RNG stream."""
         rng = random.Random("{}:{}:{}:{}".format(
             self.seed, restart, dfg.function, dfg.label))
-        return self._explore_once(dfg, rng, io_tables)
+        obs = self.obs
+        if obs:
+            with obs.timer("explore.restart"):
+                return self._explore_once(dfg, rng, io_tables,
+                                          restart=restart)
+        return self._explore_once(dfg, rng, io_tables, restart=restart)
 
     def _best_of(self, results):
         """Reduce restart results in order (first strictly better wins)."""
@@ -165,6 +176,15 @@ class MultiIssueExplorer:
         for result in results:
             if best is None or self._better(result, best):
                 best = result
+        obs = self.obs
+        if obs and best is not None:
+            dfg = best.dfg
+            obs.event("block", function=dfg.function, label=dfg.label,
+                      base_cycles=best.base_cycles,
+                      final_cycles=best.final_cycles,
+                      rounds=best.rounds, iterations=best.iterations,
+                      candidates=len(best.candidates))
+            obs.count("explore.blocks")
         return best
 
     @staticmethod
@@ -173,7 +193,7 @@ class MultiIssueExplorer:
 
     # -- one full exploration (all rounds) ------------------------------------
 
-    def _explore_once(self, original_dfg, rng, io_tables):
+    def _explore_once(self, original_dfg, rng, io_tables, restart=0):
         base_cycles = self._evaluate(original_dfg, [], io_tables)
         current_dfg, current_tables = original_dfg, io_tables
         candidates = []
@@ -181,8 +201,12 @@ class MultiIssueExplorer:
         rounds = iterations = 0
         dry_rounds = 0
         traces = []
+        # Round/iteration events carry the block + restart identity so
+        # a merged parallel trace remains attributable.
+        tag = (original_dfg.function, original_dfg.label, restart)
         while rounds < self.params.max_rounds and dry_rounds < 2:
-            round_result = self._run_round(current_dfg, current_tables, rng)
+            round_result = self._run_round(current_dfg, current_tables, rng,
+                                           tag=tag, round_index=rounds)
             rounds += 1
             iterations += round_result.iterations
             traces.append(round_result.trace)
@@ -224,10 +248,18 @@ class MultiIssueExplorer:
 
     # -- one round (Fig. 4.3.1) --------------------------------------------------
 
-    def _run_round(self, dfg, io_tables, rng):
+    def _run_round(self, dfg, io_tables, rng, tag=("", "", 0),
+                   round_index=0):
+        obs = self.obs
+        function, label, restart = tag
         state = ExplorationState(dfg, io_tables, self.params,
                                  priority=self.priority)
         if not any(state.hardware_options(uid) for uid in dfg.nodes):
+            if obs:
+                obs.event("round", function=function, label=label,
+                          restart=restart, round=round_index,
+                          iterations=0, converged=False, proposals=0,
+                          tet_best=None)
             return _RoundResult([], 0)
         tet_old = None
         prev_order = {}
@@ -249,7 +281,18 @@ class MultiIssueExplorer:
             if best_key is None or key < best_key:
                 best_key = key
                 best_schedule = schedule
-            if state.converged():
+            converged = state.converged()
+            if obs:
+                obs.event("iteration", function=function, label=label,
+                          restart=restart, round=round_index,
+                          iteration=iterations - 1,
+                          tet=schedule.makespan,
+                          min_sp=state.convergence_floor(),
+                          clusters=len(schedule.clusters))
+                obs.count("iter.cluster_opens", schedule.stat_cluster_opens)
+                obs.count("iter.cluster_joins", schedule.stat_cluster_joins)
+                obs.count("iter.join_rejects", schedule.stat_join_rejects)
+            if converged:
                 break
         # Candidates from the converged choice AND from the best
         # iteration seen: the colony's converged state occasionally
@@ -266,6 +309,21 @@ class MultiIssueExplorer:
                 seen.add(members)
                 proposals.append(
                     (members, {uid: option_of[uid] for uid in members}))
+        if obs:
+            obs.event("round", function=function, label=label,
+                      restart=restart, round=round_index,
+                      iterations=iterations, converged=state.converged(),
+                      proposals=len(proposals),
+                      tet_best=min(trace) if trace else None)
+            obs.count("explore.rounds")
+            obs.count("explore.iterations", iterations)
+            obs.count("state.weight_row_rebuilds",
+                      state.stats["weight_rebuilds"])
+            obs.count("state.convergence_refreshes",
+                      state.stats["conv_refreshes"])
+            memo = state.round_memo
+            obs.count("grouping.memo_hits", getattr(memo, "hits", 0))
+            obs.count("grouping.memo_misses", getattr(memo, "misses", 0))
         return _RoundResult(proposals, iterations, trace)
 
     def _candidate_sources(self, dfg, state, best_schedule):

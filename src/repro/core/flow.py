@@ -9,6 +9,8 @@ given area / ISE-count budget + replacement), so the evaluation sweeps
 of chapter 5 re-use one :class:`ExploredApplication` across budgets.
 """
 
+import warnings
+
 from ..config import DEFAULT_CONSTRAINTS, DEFAULT_PARAMS
 from ..errors import ReproError
 from ..graph.dfg import build_dfg
@@ -16,6 +18,7 @@ from ..hwlib.technology import DEFAULT_TECHNOLOGY
 from ..ir.analysis import liveness
 from ..ir.interp import Interpreter
 from ..ir.passes.pipeline import optimize
+from ..obs import ensure_observer
 from ..sched.list_scheduler import list_schedule
 from ..sched.units import contract_dfg
 from .exploration import MultiIssueExplorer
@@ -139,7 +142,23 @@ class ISEDesignFlow:
     def __init__(self, machine, params=None, constraints=None,
                  technology=None, seed=0, priority="children",
                  coverage=0.95, max_blocks=8, max_dfg_nodes=220,
-                 explorer_factory=None, jobs=None):
+                 explorer_factory=None, jobs=None, obs=None):
+        if isinstance(constraints, int) and not isinstance(constraints,
+                                                           bool):
+            # Legacy positional call pattern ISEDesignFlow(machine,
+            # params, seed[, jobs]) predating the keyword-only facade
+            # (repro.api).  Remap and warn; remove in 2.0.
+            warnings.warn(
+                "positional ISEDesignFlow(machine, params, seed, jobs) is "
+                "deprecated; use keyword arguments or the repro.explore() "
+                "facade", DeprecationWarning, stacklevel=2)
+            legacy_seed = constraints
+            constraints = None
+            if isinstance(technology, int) and not isinstance(technology,
+                                                              bool):
+                jobs = technology
+                technology = None
+            seed = legacy_seed
         self.machine = machine
         self.params = params or DEFAULT_PARAMS
         self.constraints = constraints or DEFAULT_CONSTRAINTS
@@ -150,12 +169,16 @@ class ISEDesignFlow:
         self.max_blocks = max_blocks
         self.max_dfg_nodes = max_dfg_nodes
         self.jobs = jobs
+        #: Observability context threaded through the whole flow
+        #: (explorer, parallel fan-out, evaluation); the falsy
+        #: NULL_OBSERVER by default.
+        self.obs = ensure_observer(obs)
         if explorer_factory is None:
             explorer_factory = lambda flow: MultiIssueExplorer(
                 flow.machine, params=flow.params,
                 constraints=flow.constraints,
                 technology=flow.technology, seed=flow.seed,
-                priority=flow.priority)
+                priority=flow.priority, obs=flow.obs)
         self._explorer_factory = explorer_factory
 
     # -- stage 1: profile + lower ------------------------------------------
@@ -214,11 +237,23 @@ class ISEDesignFlow:
         """
         if opt_level is not None:
             program = optimize(program, opt_level)
-        blocks = self.profile_blocks(program, args=args)
+        obs = self.obs
+        with obs.timer("flow.profile"):
+            blocks = self.profile_blocks(program, args=args)
         hot = self._select_hot_blocks(blocks)
+        if obs:
+            obs.event("flow.profile", program=program.name,
+                      opt=opt_level, blocks=len(blocks),
+                      explorable=sum(1 for b in blocks if b.explorable))
+            for instance in hot:
+                obs.event("flow.hot_block", function=instance.function,
+                          label=instance.label, weight=instance.weight,
+                          nodes=len(instance.dfg))
+            obs.gauge("flow.hot_blocks", len(hot))
         explorer = self._explorer_factory(self)
         jobs = resolve_jobs(self.jobs if jobs is None else jobs)
-        results = self._explore_hot_blocks(explorer, hot, jobs)
+        with obs.timer("flow.explore_blocks"):
+            results = self._explore_hot_blocks(explorer, hot, jobs)
         candidates = []
         explored_labels = []
         for instance, result in zip(hot, results):
@@ -227,6 +262,9 @@ class ISEDesignFlow:
                 candidate.weighted_saving = (
                     candidate.cycle_saving * instance.freq)
                 candidates.append(candidate)
+        if obs:
+            obs.event("flow.explored", program=program.name,
+                      candidates=len(candidates), jobs=jobs)
         return ExploredApplication(program, self.machine, blocks, candidates,
                                    explored_labels, self.technology,
                                    self.constraints)
@@ -242,7 +280,8 @@ class ISEDesignFlow:
         if callable(explore_many):
             return explore_many([b.dfg for b in hot], jobs=jobs)
         return parallel_map(_explore_block_task,
-                            [(explorer, b.dfg) for b in hot], jobs)
+                            [(explorer, b.dfg) for b in hot], jobs,
+                            obs=getattr(explorer, "obs", None))
 
     def _select_hot_blocks(self, blocks):
         eligible = [b for b in blocks
@@ -268,26 +307,35 @@ class ISEDesignFlow:
         """Select ISEs under ``constraints`` and produce final metrics."""
         constraints = constraints or self.constraints
         single_asfu = self.machine.fu_counts.get("asfu", 1) <= 1
-        merged = merge_candidates(explored.candidates,
-                                  single_asfu=single_asfu)
-        selection = select_ises(merged, constraints,
-                                enable_sharing=enable_sharing)
-        final_cycles = 0
-        block_results = {}
-        for instance in explored.blocks:
-            if instance.freq <= 0:
-                continue
-            if instance.explorable and selection.selected:
-                cycles = self._block_cycles(
-                    instance, selected=selection.selected)
-            else:
-                cycles = instance.base_cycles
-            # A compiler would keep the original code if replacement ever
-            # lost cycles; model that by clipping at the baseline.
-            cycles = min(cycles, instance.base_cycles)
-            block_results[(instance.function, instance.label)] = cycles
-            final_cycles += instance.freq * (cycles + 1)
-        return FlowReport(explored, selection, final_cycles, block_results)
+        obs = self.obs
+        with obs.timer("flow.evaluate"):
+            merged = merge_candidates(explored.candidates,
+                                      single_asfu=single_asfu)
+            selection = select_ises(merged, constraints,
+                                    enable_sharing=enable_sharing)
+            final_cycles = 0
+            block_results = {}
+            for instance in explored.blocks:
+                if instance.freq <= 0:
+                    continue
+                if instance.explorable and selection.selected:
+                    cycles = self._block_cycles(
+                        instance, selected=selection.selected)
+                else:
+                    cycles = instance.base_cycles
+                # A compiler would keep the original code if replacement
+                # ever lost cycles; model that by clipping at the baseline.
+                cycles = min(cycles, instance.base_cycles)
+                block_results[(instance.function, instance.label)] = cycles
+                final_cycles += instance.freq * (cycles + 1)
+        report = FlowReport(explored, selection, final_cycles, block_results)
+        if obs:
+            obs.event("flow.evaluate",
+                      baseline_cycles=report.baseline_cycles,
+                      final_cycles=final_cycles,
+                      reduction=report.reduction,
+                      num_ises=selection.count, area=selection.area)
+        return report
 
     def run(self, program, args=(), opt_level=None, constraints=None,
             enable_sharing=True):

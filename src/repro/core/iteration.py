@@ -60,6 +60,11 @@ class IterationSchedule:
         self.order = {}
         self._next_order = 0
         self._next_cluster = 0
+        # Cheap always-on packing tallies (Fig. 4.3.4), aggregated into
+        # the observability counters at round end.
+        self.stat_cluster_opens = 0
+        self.stat_cluster_joins = 0
+        self.stat_join_rejects = 0
 
     # -- queries ------------------------------------------------------------
 
@@ -115,8 +120,10 @@ class IterationSchedule:
         """Pack into a parent's cluster if possible, else open a new one."""
         for cluster in self._parent_clusters(uid):
             if self._try_join(cluster, uid, option):
+                self.stat_cluster_joins += 1
                 self._commit(uid, option, cluster.start)
                 return
+            self.stat_join_rejects += 1
         self._open_cluster(uid, option)
 
     def _parent_clusters(self, uid):
@@ -192,6 +199,7 @@ class IterationSchedule:
         return True
 
     def _open_cluster(self, uid, option):
+        self.stat_cluster_opens += 1
         io = SubgraphIOTracker(self.dfg)
         io.add(uid)
         needs = Needs(reads=io.n_in, writes=io.n_out, fu_kind="asfu")

@@ -38,7 +38,9 @@ def update_merits(dfg, state, schedule, constraints):
     # recur every iteration once the colony starts converging.
     memo = getattr(state, "round_memo", None)
     if memo is None:
-        memo = state.round_memo = {}
+        from .state import RoundMemo
+
+        memo = state.round_memo = RoundMemo()
     groups = hardware_grouping(dfg, state, schedule, memo=memo)
     best_of = best_groups(groups)
 

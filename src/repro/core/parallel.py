@@ -15,6 +15,13 @@ the shared plumbing:
 Nested pools are suppressed: workers are marked at fork/spawn time and
 always resolve to one job, so a parallel design flow never spawns
 grandchild processes from its per-block explorations.
+
+Observability survives the fan-out: when an enabled observer is passed
+to :func:`parallel_map`, each pooled task runs under a worker-local
+:mod:`~repro.obs.capture` buffer and ships its records back with the
+result; the parent replays them in task order — which is exactly the
+serial fire order — so sinks and metrics see one coherent stream at
+any worker count.
 """
 
 import os
@@ -62,22 +69,46 @@ def resolve_jobs(jobs=None):
     return jobs
 
 
-def parallel_map(function, tasks, jobs):
+def _captured_call(function, *task):
+    """Run one task under a worker-local observability capture buffer.
+
+    Returns ``(result, records)``; the records are replayed by the
+    parent observer so events survive the process boundary.
+    """
+    from ..obs import capture
+
+    capture.begin()
+    try:
+        result = function(*task)
+    finally:
+        records = capture.end()
+    return result, records
+
+
+def parallel_map(function, tasks, jobs, obs=None):
     """``[function(*task) for task in tasks]``, optionally process-pooled.
 
     Results keep task order, so any order-dependent reduction done by
     the caller (e.g. "first strictly better restart wins") is identical
     to the serial path.  ``function`` must be picklable (module level).
+    An enabled ``obs`` observer gets worker-side events/metrics merged
+    back in task (= serial fire) order.
     """
     tasks = list(tasks)
     if jobs <= 1 or len(tasks) <= 1:
+        # Serial path: observer calls deliver inline, nothing to merge.
         return [function(*task) for task in tasks]
     workers = min(jobs, len(tasks))
+    capturing = obs is not None and bool(obs)
     with ProcessPoolExecutor(max_workers=workers,
                              initializer=_mark_worker) as pool:
-        futures = [pool.submit(function, *task) for task in tasks]
+        if capturing:
+            futures = [pool.submit(_captured_call, function, *task)
+                       for task in tasks]
+        else:
+            futures = [pool.submit(function, *task) for task in tasks]
         try:
-            return [future.result() for future in futures]
+            outcomes = [future.result() for future in futures]
         except BaseException:
             # Ctrl-C (or a failed task) must not wait out the whole
             # queue: drop everything not yet running so the pool
@@ -85,3 +116,10 @@ def parallel_map(function, tasks, jobs):
             for future in futures:
                 future.cancel()
             raise
+    if not capturing:
+        return outcomes
+    results = []
+    for result, records in outcomes:
+        obs.replay(records)
+        results.append(result)
+    return results

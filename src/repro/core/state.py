@@ -41,6 +41,35 @@ from ..errors import ExplorationError
 #: Weight floor keeping the Eq. 1 roulette wheel well defined.
 _WEIGHT_FLOOR = 1e-12
 
+_MISSING = object()
+
+
+class RoundMemo(dict):
+    """Round-lifetime geometry memo that counts its own hit rate.
+
+    Pure-geometry facts (group growth, delay, I/O shape) recur every
+    iteration once the colony converges; the hit/miss tallies feed the
+    ``grouping.memo_*`` observability counters at round end.  Plain
+    dicts still work wherever a memo is accepted — only this subclass
+    counts.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self):
+        super().__init__()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, default=None):
+        """``dict.get`` that tallies a hit or a miss."""
+        value = dict.get(self, key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
 
 class _VectorMap:
     """Mapping view over one per-(uid, label) slot vector.
@@ -98,7 +127,10 @@ class ExplorationState:
         self.params = params
         #: Round-lifetime memo for pure geometry facts (see
         #: :func:`~repro.core.merit.update_merits`).
-        self.round_memo = {}
+        self.round_memo = RoundMemo()
+        #: Cheap always-on tallies read by the observability hooks at
+        #: round end (plain int adds; never consulted on the hot path).
+        self.stats = {"weight_rebuilds": 0, "conv_refreshes": 0}
         #: uid -> tuple of ImplementationOption
         self.options = {}
         self._uids = list(dfg.nodes)
@@ -212,6 +244,7 @@ class ExplorationState:
     def _cp_rows(self):
         """Per-uid Eq. 1 weight rows, refreshed for dirty uids only."""
         if self._weight_dirty:
+            self.stats["weight_rebuilds"] += len(self._weight_dirty)
             params = self.params
             weights = (params.alpha * self._trail_vec
                        + (1.0 - params.alpha) * self._merit_vec
@@ -259,8 +292,22 @@ class ExplorationState:
         p_end = self.params.p_end
         return all(best >= p_end for best in self._best_sp.values())
 
+    def convergence_floor(self):
+        """Minimum best selected probability over all operations.
+
+        The per-iteration distance from the ``P_END`` end condition —
+        the convergence trajectory recorded by the observability layer.
+        Uses the same dirty-flag cache as :meth:`converged`.
+        """
+        if self._conv_dirty:
+            self._refresh_best_sp()
+        if not self._best_sp:
+            return 1.0
+        return min(self._best_sp.values())
+
     def _refresh_best_sp(self):
         """Recompute the cached best selected probability of dirty uids."""
+        self.stats["conv_refreshes"] += len(self._conv_dirty)
         params = self.params
         values = (params.alpha * self._trail_vec
                   + (1.0 - params.alpha) * self._merit_vec)

@@ -15,6 +15,7 @@ import os
 import pickle
 
 from ..errors import ReproError
+from ..obs import ensure_observer
 
 #: Set to ``0`` to disable the on-disk exploration cache.
 CACHE_ENV = "REPRO_CACHE"
@@ -42,7 +43,7 @@ class ExplorationCache:
     digest, and corrupt or unreadable files are treated as misses.
     """
 
-    def __init__(self, directory=None, enabled=None):
+    def __init__(self, directory=None, enabled=None, obs=None):
         if enabled is None:
             enabled = os.environ.get(CACHE_ENV, "1").strip().lower() \
                 not in ("0", "false", "no", "off")
@@ -50,6 +51,19 @@ class ExplorationCache:
             directory = os.environ.get(CACHE_DIR_ENV, ".repro_cache")
         self.directory = directory
         self.enabled = enabled
+        self.obs = ensure_observer(obs)
+        # Always-on tallies: hit/miss/store counts were previously
+        # invisible; they surface through ``stats`` and the
+        # ``cache.disk_*`` metrics counters.
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def stats(self):
+        """Hit/miss/store tallies of this cache instance."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}
 
     @staticmethod
     def key(**fields):
@@ -73,15 +87,31 @@ class ExplorationCache:
             return None
         try:
             with open(self.path_for(key), "rb") as handle:
-                return pickle.load(handle)
+                payload = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
+            self.misses += 1
+            obs = self.obs
+            if obs:
+                obs.count("cache.disk_miss")
+                obs.event("cache", op="load", status="miss", key=key)
             return None
+        self.hits += 1
+        obs = self.obs
+        if obs:
+            obs.count("cache.disk_hit")
+            obs.event("cache", op="load", status="hit", key=key)
+        return payload
 
     def store(self, key, payload):
         """Atomically persist ``payload`` under ``key``."""
         if not self.enabled:
             return
+        self.stores += 1
+        obs = self.obs
+        if obs:
+            obs.count("cache.disk_store")
+            obs.event("cache", op="store", status="store", key=key)
         os.makedirs(self.directory, exist_ok=True)
         path = self.path_for(key)
         scratch = path + ".tmp.{}".format(os.getpid())

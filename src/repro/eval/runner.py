@@ -19,15 +19,19 @@ Select via ``EvalContext(profile=...)`` or the ``REPRO_EVAL_PROFILE``
 environment variable.
 """
 
+import logging
 import os
 
 from ..baselines import greedy_explorer_factory, si_explorer_factory
 from ..config import ExplorationParams, ISEConstraints
 from ..core.flow import ISEDesignFlow
 from ..errors import ReproError
+from ..obs import ensure_observer
 from ..sched.machine import MachineConfig
 from ..workloads import all_workloads, get_workload
 from .persistence import ExplorationCache
+
+logger = logging.getLogger("repro.eval")
 
 PROFILES = {
     "quick": dict(max_iterations=80, restarts=1, max_rounds=12,
@@ -50,7 +54,7 @@ class EvalContext:
     """Caches explorations; serves budget-sweep evaluations."""
 
     def __init__(self, profile=None, seed=7, workload_names=None,
-                 jobs=None, disk_cache=None):
+                 jobs=None, disk_cache=None, obs=None):
         profile = profile or default_profile()
         if profile not in PROFILES:
             raise ReproError(
@@ -72,10 +76,17 @@ class EvalContext:
             raise ReproError(
                 "EvalContext needs at least one workload; got an empty "
                 "workload_names list")
-        self.disk_cache = ExplorationCache() if disk_cache is None \
-            else disk_cache
+        self.obs = ensure_observer(obs)
+        self.disk_cache = ExplorationCache(obs=self.obs) \
+            if disk_cache is None else disk_cache
         self._cache = {}
         self._programs = {}
+        # In-process memoisation tallies — previously invisible (the
+        # "cache stats" bugfix): surfaced via cache_stats(), the
+        # ``cache.memory_*`` metrics counters and close()'s summary.
+        self.memory_hits = 0
+        self.memory_misses = 0
+        self._closed = False
 
     # -- plumbing ---------------------------------------------------------
 
@@ -95,7 +106,7 @@ class EvalContext:
         return ISEDesignFlow(
             machine, params=self.params, seed=self.seed,
             max_blocks=self.max_blocks, explorer_factory=factory,
-            jobs=self.jobs)
+            jobs=self.jobs, obs=self.obs)
 
     def _disk_key(self, workload_name, machine, opt_level, algorithm):
         return self.disk_cache.key(
@@ -113,18 +124,62 @@ class EvalContext:
         settings skips the ACO runs entirely.
         """
         key = (workload_name, machine.label, opt_level, algorithm)
+        obs = self.obs
         if key not in self._cache:
+            self.memory_misses += 1
+            if obs:
+                obs.count("cache.memory_miss")
             flow = self._flow(machine, algorithm)
             disk_key = self._disk_key(
                 workload_name, machine, opt_level, algorithm)
             explored = self.disk_cache.load(disk_key)
             if explored is None:
                 program, args = self._program(workload_name)
-                explored = flow.explore_application(
-                    program, args=args, opt_level=opt_level)
+                with obs.timer("eval.explore"):
+                    explored = flow.explore_application(
+                        program, args=args, opt_level=opt_level)
                 self.disk_cache.store(disk_key, explored)
             self._cache[key] = (flow, explored)
+        else:
+            self.memory_hits += 1
+            if obs:
+                obs.count("cache.memory_hit")
         return self._cache[key]
+
+    # -- cache stats / teardown -------------------------------------------
+
+    def cache_stats(self):
+        """Hit/miss tallies of both cache layers (memory + disk)."""
+        disk = self.disk_cache
+        return {
+            "memory_hits": self.memory_hits,
+            "memory_misses": self.memory_misses,
+            "disk_hits": getattr(disk, "hits", 0),
+            "disk_misses": getattr(disk, "misses", 0),
+            "disk_stores": getattr(disk, "stores", 0),
+        }
+
+    def close(self):
+        """Log a one-line cache summary (idempotent teardown)."""
+        if self._closed:
+            return
+        self._closed = True
+        stats = self.cache_stats()
+        logger.info(
+            "EvalContext cache: memory %d hit(s) / %d miss(es), "
+            "disk %d hit(s) / %d miss(es) / %d store(s)",
+            stats["memory_hits"], stats["memory_misses"],
+            stats["disk_hits"], stats["disk_misses"], stats["disk_stores"])
+        obs = self.obs
+        if obs:
+            obs.event("eval.cache_summary", **stats)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     # -- metrics -------------------------------------------------------------
 

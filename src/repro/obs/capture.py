@@ -1,0 +1,40 @@
+"""Process-local capture buffer for worker-side observability.
+
+Exploration fans out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(:mod:`repro.core.parallel`); sinks (file handles, terminals) cannot
+follow an observer across that boundary.  Instead, the pooled wrapper
+installs a *capture buffer* in the worker before running the task:
+every observer call in the worker appends a compact record to the
+buffer, the records travel back with the task result, and the parent
+observer replays them — in task order, which is exactly the serial fire
+order — into its own sinks and metrics registry.
+
+Records are plain tuples so they pickle cheaply:
+
+* ``("event", kind, data_dict)``
+* ``("count", name, n)``
+* ``("gauge", name, value)``
+* ``("timer", name, seconds)``
+"""
+
+#: The active capture buffer of this process (``None`` outside capture).
+_BUFFER = None
+
+
+def begin():
+    """Install a fresh capture buffer; returns it."""
+    global _BUFFER
+    _BUFFER = []
+    return _BUFFER
+
+
+def end():
+    """Remove the capture buffer; returns the captured records."""
+    global _BUFFER
+    records, _BUFFER = _BUFFER, None
+    return records if records is not None else []
+
+
+def active():
+    """The current buffer, or ``None`` when not capturing."""
+    return _BUFFER

@@ -1,0 +1,85 @@
+"""Counters, gauges and timers for the observability layer.
+
+A :class:`MetricsRegistry` is a plain in-process aggregate — no
+background threads, no sampling.  Counters add, gauges overwrite,
+timers accumulate ``(count, total seconds)``.  Registries merge, which
+is how worker-side measurements folded through the capture buffer end
+up in the parent's registry.
+"""
+
+
+class MetricsRegistry:
+    """Aggregated counters / gauges / timers."""
+
+    __slots__ = ("counters", "gauges", "timers")
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.timers = {}          # name -> [count, total_seconds]
+
+    def count(self, name, n=1):
+        """Add ``n`` to counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name, value):
+        """Set gauge ``name`` to its latest ``value``."""
+        self.gauges[name] = value
+
+    def time(self, name, seconds):
+        """Fold one measured duration into timer ``name``."""
+        entry = self.timers.get(name)
+        if entry is None:
+            entry = self.timers[name] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += seconds
+
+    def snapshot(self):
+        """JSON-able copy of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {name: {"count": entry[0],
+                              "total_s": round(entry[1], 6)}
+                       for name, entry in self.timers.items()},
+        }
+
+    def merge(self, snapshot):
+        """Fold another registry's :meth:`snapshot` into this one."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, entry in snapshot.get("timers", {}).items():
+            timer = self.timers.get(name)
+            if timer is None:
+                timer = self.timers[name] = [0, 0.0]
+            timer[0] += entry["count"]
+            timer[1] += entry["total_s"]
+
+    def render(self):
+        """Human-readable multi-line summary (``--metrics`` output)."""
+        lines = []
+        if self.counters:
+            lines.append("counters:")
+            for name in sorted(self.counters):
+                lines.append("  {:40s} {}".format(name, self.counters[name]))
+        if self.gauges:
+            lines.append("gauges:")
+            for name in sorted(self.gauges):
+                lines.append("  {:40s} {}".format(name, self.gauges[name]))
+        if self.timers:
+            lines.append("timers:")
+            for name in sorted(self.timers):
+                count, total = self.timers[name]
+                mean = total / count if count else 0.0
+                lines.append(
+                    "  {:40s} {:6d} calls  {:9.3f}s total  {:9.4f}s mean"
+                    .format(name, count, total, mean))
+        if not lines:
+            lines.append("(no metrics recorded)")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "MetricsRegistry({} counters, {} gauges, {} timers)".format(
+            len(self.counters), len(self.gauges), len(self.timers))

@@ -1,0 +1,144 @@
+"""Reading trace files back: the ``repro metrics`` subcommand's core.
+
+A trace file is JSON lines written by :class:`~repro.obs.sinks.JsonlSink`
+— one record per event, ``seq`` ascending.  :func:`summarize_trace`
+folds a record stream into a compact dict and :func:`render_summary`
+pretty-prints it.
+"""
+
+import json
+
+from ..errors import ReproError
+
+
+def load_trace(path):
+    """Parse one JSON-lines trace file into a list of records."""
+    records = []
+    try:
+        with open(path) as handle:
+            for number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    raise ReproError(
+                        "malformed trace line {} in {}".format(
+                            number, path)) from None
+    except OSError as error:
+        raise ReproError("cannot read trace {}: {}".format(
+            path, error)) from None
+    return records
+
+
+def summarize_trace(records):
+    """Aggregate a record stream into a summary dict.
+
+    Keys: ``events`` (total), ``kinds`` (kind → count), ``blocks``
+    (per-block base/final cycles), ``rounds`` / ``iterations`` totals,
+    ``p_end`` (first/last convergence floor seen), ``cache`` (hit /
+    miss / store counts), ``evaluate`` (last flow.evaluate payload) and
+    ``metrics`` (last registry snapshot, when the trace has one).
+    """
+    kinds = {}
+    blocks = []
+    rounds = 0
+    iterations = 0
+    first_floor = last_floor = None
+    cache = {"hit": 0, "miss": 0, "store": 0}
+    evaluate = None
+    metrics = None
+    for record in records:
+        kind = record.get("kind")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "round":
+            rounds += 1
+        elif kind == "iteration":
+            iterations += 1
+            floor = record.get("min_sp")
+            if floor is not None:
+                if first_floor is None:
+                    first_floor = floor
+                last_floor = floor
+        elif kind == "block":
+            blocks.append({
+                "block": "{}:{}".format(record.get("function"),
+                                        record.get("label")),
+                "base_cycles": record.get("base_cycles"),
+                "final_cycles": record.get("final_cycles"),
+                "candidates": record.get("candidates"),
+            })
+        elif kind == "cache":
+            status = record.get("status")
+            if record.get("op") == "store":
+                cache["store"] += 1
+            elif status in cache:
+                cache[status] += 1
+        elif kind == "flow.evaluate":
+            evaluate = record
+        elif kind == "metrics":
+            metrics = record
+    return {
+        "events": len(records),
+        "kinds": kinds,
+        "blocks": blocks,
+        "rounds": rounds,
+        "iterations": iterations,
+        "p_end": {"first": first_floor, "last": last_floor},
+        "cache": cache,
+        "evaluate": evaluate,
+        "metrics": metrics,
+    }
+
+
+def render_summary(summary):
+    """Human-readable rendering of :func:`summarize_trace` output."""
+    lines = ["trace: {} events".format(summary["events"])]
+    lines.append("events by kind:")
+    for kind in sorted(summary["kinds"]):
+        lines.append("  {:24s} {}".format(kind, summary["kinds"][kind]))
+    if summary["blocks"]:
+        lines.append("explored blocks:")
+        for entry in summary["blocks"]:
+            lines.append(
+                "  {:24s} {} -> {} cycles ({} candidate(s))".format(
+                    entry["block"], entry["base_cycles"],
+                    entry["final_cycles"], entry["candidates"]))
+    lines.append("rounds: {}   iterations: {}".format(
+        summary["rounds"], summary["iterations"]))
+    p_end = summary["p_end"]
+    if p_end["first"] is not None:
+        lines.append(
+            "P_END trajectory (min selected probability): "
+            "{:.4f} first -> {:.4f} last".format(
+                p_end["first"], p_end["last"]))
+    cache = summary["cache"]
+    if any(cache.values()):
+        lines.append("exploration cache: {} hit(s), {} miss(es), "
+                     "{} store(s)".format(cache["hit"], cache["miss"],
+                                          cache["store"]))
+    evaluate = summary["evaluate"]
+    if evaluate is not None:
+        lines.append(
+            "final evaluation: {} -> {} cycles ({:.2%} reduction, "
+            "{} ISE(s), {:.0f} um2)".format(
+                evaluate.get("baseline_cycles"),
+                evaluate.get("final_cycles"),
+                evaluate.get("reduction", 0.0),
+                evaluate.get("num_ises"), evaluate.get("area", 0.0)))
+    metrics = summary["metrics"]
+    if metrics is not None:
+        counters = metrics.get("counters", {})
+        if counters:
+            lines.append("counters:")
+            for name in sorted(counters):
+                lines.append("  {:40s} {}".format(name, counters[name]))
+        timers = metrics.get("timers", {})
+        if timers:
+            lines.append("timers:")
+            for name in sorted(timers):
+                entry = timers[name]
+                lines.append("  {:40s} {:6d} calls  {:9.3f}s".format(
+                    name, entry["count"], entry["total_s"]))
+    return "\n".join(lines)
