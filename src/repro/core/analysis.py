@@ -6,9 +6,13 @@ single multi-cycle units — and (b) per-node ASAP/ALAP windows for the
 Max_AEC slack computation.  Both are computed on the *contracted* unit
 graph (clusters folded to supernodes) with pure dependence timing, the
 thesis's notion of the critical path.
-"""
 
-import networkx as nx
+This runs once per ACO iteration, so the contraction and both timing
+sweeps are implemented as plain dict/list passes (Kahn topological
+order over the unit DAG) rather than through networkx graph objects —
+the ASAP/ALAP fixpoints, the critical set and Max_AEC are identical,
+the per-iteration cost is not.
+"""
 
 
 class ScheduleAnalysis:
@@ -17,28 +21,35 @@ class ScheduleAnalysis:
     def __init__(self, dfg, schedule):
         self.dfg = dfg
         self.schedule = schedule
-        graph, unit_of, latency = _contracted_graph(dfg, schedule)
-        self._graph = graph
+        unit_of, latency, succs, preds, order = _contracted_units(
+            dfg, schedule)
         self._unit_of = unit_of
         self._latency = latency
-        self._asap = {}
-        for unit in nx.topological_sort(graph):
+        asap = {}
+        for unit in order:
             earliest = 0
-            for pred in graph.predecessors(unit):
-                earliest = max(earliest, self._asap[pred] + latency[pred])
-            self._asap[unit] = earliest
+            for pred in preds[unit]:
+                ready = asap[pred] + latency[pred]
+                if ready > earliest:
+                    earliest = ready
+            asap[unit] = earliest
+        self._asap = asap
         self.dependence_makespan = max(
-            (self._asap[u] + latency[u] for u in graph.nodes), default=0)
-        self._alap = {}
-        for unit in reversed(list(nx.topological_sort(graph))):
+            (asap[unit] + latency[unit] for unit in order), default=0)
+        alap = {}
+        for unit in reversed(order):
             latest = self.dependence_makespan - latency[unit]
-            for succ in graph.successors(unit):
-                latest = min(latest, self._alap[succ] - latency[unit])
-            self._alap[unit] = latest
+            for succ in succs[unit]:
+                bound = alap[succ] - latency[unit]
+                if bound < latest:
+                    latest = bound
+            alap[unit] = latest
+        self._alap = alap
         self.critical = {
             node for node in dfg.nodes
-            if self._alap[unit_of[node]] <= self._asap[unit_of[node]]
+            if alap[unit_of[node]] <= asap[unit_of[node]]
         }
+        self._aec_memo = {}
 
     # -- per-node windows -------------------------------------------------
 
@@ -64,7 +75,14 @@ class ScheduleAnalysis:
         Fig. 4.3.8: the slack window a group can occupy without hurting
         the schedule — from the earliest its external inputs can be
         ready to the latest its external consumers can still start.
+        Memoised per analysis: every hardware option of a seed shares
+        the same member set.
         """
+        key = members if isinstance(members, frozenset) else None
+        if key is not None:
+            cached = self._aec_memo.get(key)
+            if cached is not None:
+                return cached
         members = set(members)
         ready = 0
         deadline = self.dependence_makespan
@@ -78,11 +96,19 @@ class ScheduleAnalysis:
                 if succ in members:
                     continue
                 deadline = min(deadline, self._alap[self._unit_of[succ]])
-        return max(0, deadline - ready)
+        window = max(0, deadline - ready)
+        if key is not None:
+            self._aec_memo[key] = window
+        return window
 
 
-def _contracted_graph(dfg, schedule):
-    """Unit DAG of the realized assignment (clusters → supernodes)."""
+def _contracted_units(dfg, schedule):
+    """Unit DAG of the realized assignment (clusters → supernodes).
+
+    Returns ``(unit_of, latency, succs, preds, topo_order)`` as plain
+    dicts/lists — adjacency is deduplicated exactly like the DiGraph it
+    replaces, and the order is a Kahn topological sort of the units.
+    """
     unit_of = {}
     latency = {}
     for index, cluster in enumerate(schedule.clusters):
@@ -90,14 +116,26 @@ def _contracted_graph(dfg, schedule):
         for member in cluster.members:
             unit_of[member] = uid
         latency[uid] = cluster.cycles
+    chosen = schedule.chosen
     for node in dfg.nodes:
         if node not in unit_of:
             unit_of[node] = node
-            latency[node] = schedule.chosen[node].cycles
-    graph = nx.DiGraph()
-    graph.add_nodes_from(set(unit_of.values()))
-    for src, dst in dfg.graph.edges:
+            latency[node] = chosen[node].cycles
+    succs = {unit: set() for unit in latency}
+    for src, dst in dfg.edge_pairs():
         u, v = unit_of[src], unit_of[dst]
         if u != v:
-            graph.add_edge(u, v)
-    return graph, unit_of, latency
+            succs[u].add(v)
+    preds = {unit: [] for unit in latency}
+    indegree = {unit: 0 for unit in latency}
+    for unit, out in succs.items():
+        for succ in out:
+            preds[succ].append(unit)
+            indegree[succ] += 1
+    order = [unit for unit, degree in indegree.items() if degree == 0]
+    for unit in order:               # grows while iterating (Kahn)
+        for succ in succs[unit]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                order.append(succ)
+    return unit_of, latency, succs, preds, order

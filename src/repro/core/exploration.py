@@ -23,6 +23,7 @@ bit-identical to the serial path.
 """
 
 import random
+from bisect import insort
 
 from ..config import DEFAULT_CONSTRAINTS, DEFAULT_PARAMS
 from ..errors import ExplorationError
@@ -34,6 +35,7 @@ from ..sched.list_scheduler import list_schedule
 from ..sched.units import contract_dfg
 from .candidate import ISECandidate
 from .contract import contract_candidate
+from .evalcache import EvalCache, evalcache_enabled
 from .iteration import IterationSchedule
 from .make_convex import legalize_components
 from .merit import update_merits
@@ -103,6 +105,11 @@ class MultiIssueExplorer:
         #: — worker-side calls land in the capture buffer and are
         #: replayed by the parent (see :mod:`repro.core.parallel`).
         self.obs = ensure_observer(obs)
+        #: Memo of deterministic candidate evaluations, shared across
+        #: rounds, restarts and blocks (``REPRO_EVALCACHE=0`` disables).
+        #: Pool workers receive it inside the pickled explorer as a
+        #: warm read-only snapshot (see :mod:`repro.core.evalcache`).
+        self._evalcache = EvalCache() if evalcache_enabled() else None
 
     # -- public API -------------------------------------------------------
 
@@ -119,7 +126,8 @@ class MultiIssueExplorer:
         """
         if io_tables is None:
             io_tables = self._default_tables(dfg)
-        jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        jobs = resolve_jobs(self.jobs if jobs is None else jobs,
+                            obs=self.obs)
         restarts = range(self.params.restarts)
         if jobs > 1:
             results = parallel_map(
@@ -140,7 +148,8 @@ class MultiIssueExplorer:
         returned list matches serial block-by-block exploration exactly.
         """
         dfgs = list(dfgs)
-        jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        jobs = resolve_jobs(self.jobs if jobs is None else jobs,
+                            obs=self.obs)
         restarts = range(self.params.restarts)
         if jobs <= 1:
             return [self.explore(dfg, jobs=1) for dfg in dfgs]
@@ -165,9 +174,17 @@ class MultiIssueExplorer:
             self.seed, restart, dfg.function, dfg.label))
         obs = self.obs
         if obs:
+            cache = self._evalcache
+            before = cache.stats() if cache is not None else None
             with obs.timer("explore.restart"):
-                return self._explore_once(dfg, rng, io_tables,
-                                          restart=restart)
+                result = self._explore_once(dfg, rng, io_tables,
+                                            restart=restart)
+            if cache is not None:
+                hits, misses, entries = cache.stats()
+                obs.count("evalcache.hits", hits - before[0])
+                obs.count("evalcache.misses", misses - before[1])
+                obs.gauge("evalcache.entries", entries)
+            return result
         return self._explore_once(dfg, rng, io_tables, restart=restart)
 
     def _best_of(self, results):
@@ -292,6 +309,10 @@ class MultiIssueExplorer:
                 obs.count("iter.cluster_opens", schedule.stat_cluster_opens)
                 obs.count("iter.cluster_joins", schedule.stat_cluster_joins)
                 obs.count("iter.join_rejects", schedule.stat_join_rejects)
+                obs.count("sched.first_fit_scans",
+                          schedule.table.stat_first_fit_scans)
+                obs.count("sched.scan_cycles",
+                          schedule.table.stat_scan_cycles)
             if converged:
                 break
         # Candidates from the converged choice AND from the best
@@ -377,39 +398,63 @@ class MultiIssueExplorer:
     def _run_iteration(self, dfg, state, rng):
         schedule = IterationSchedule(
             dfg, self.machine, self.technology, self.constraints)
-        remaining_preds = {uid: dfg.graph.in_degree(uid) for uid in dfg.nodes}
-        ready = {uid for uid, count in remaining_preds.items() if count == 0}
-        unscheduled = set(dfg.nodes)
-        while unscheduled:
+        remaining_preds = {uid: len(dfg.predecessors(uid))
+                           for uid in dfg.nodes}
+        # The Ready-Matrix draw wants the ready set in uid order every
+        # step; keep it as a sorted list (bisect insertion) instead of
+        # re-sorting a set per draw.
+        ready = sorted(uid for uid, count in remaining_preds.items()
+                       if count == 0)
+        remaining = len(remaining_preds)
+        while remaining:
             if not ready:
                 raise ExplorationError("ready set empty with work remaining")
-            entries = state.cp_weights(sorted(ready))
+            entries = state.cp_weights(ready)
             (uid, option) = _roulette(entries, rng)
             if option.is_hardware:
                 schedule.schedule_hardware(uid, option)
             else:
                 schedule.schedule_software(uid, option)
-            ready.discard(uid)
-            unscheduled.discard(uid)
+            ready.remove(uid)
+            remaining -= 1
             for succ in dfg.successors(uid):
                 remaining_preds[succ] -= 1
                 if remaining_preds[succ] == 0:
-                    ready.add(succ)
+                    insort(ready, succ)
         return schedule.verify()
 
     # -- deterministic evaluation of a candidate set -----------------------------------
 
     def _evaluate(self, dfg, candidates, io_tables=None):
-        """Block cycles after fixing ``candidates`` (list scheduling)."""
-        groups = [(c.members, c.option_of) for c in candidates]
+        """Block cycles after fixing ``candidates`` (list scheduling).
+
+        Deterministic (contraction + list scheduling), so results are
+        memoised in the cross-restart :class:`EvalCache` keyed on the
+        DFG digest, the *ordered* candidate fingerprints (contraction
+        names supernodes by position, and the list scheduler's unit-name
+        tie-break can see that) and the software latencies used.
+        """
         software_cycles = None
         if io_tables is not None:
             software_cycles = {uid: io_tables[uid].software[0].cycles
                                for uid in dfg.nodes if uid in io_tables}
+        cache = self._evalcache
+        key = None
+        if cache is not None:
+            latencies = (None if software_cycles is None
+                         else tuple(sorted(software_cycles.items())))
+            key = cache.key(dfg, candidates, latencies)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        groups = [(c.members, c.option_of) for c in candidates]
         graph, units = contract_dfg(dfg, groups, self.technology,
                                     software_cycles=software_cycles)
         schedule = list_schedule(graph, units, self.machine)
-        return schedule.makespan
+        makespan = schedule.makespan
+        if cache is not None:
+            cache.put(key, makespan)
+        return makespan
 
 
 class _RoundResult:
@@ -422,9 +467,19 @@ class _RoundResult:
 
 
 def _roulette(entries, rng):
-    """Draw one entry proportionally to its weight."""
+    """Draw one entry proportionally to its weight.
+
+    Degenerate case: when the weights sum to zero (all-zero rows, or a
+    sum that underflowed), every entry is equally (un)weighted, so the
+    draw falls back to a *uniform* pick instead of collapsing onto the
+    first entry.  Exactly one ``rng.random()`` is consumed on every
+    path, so the fallback never shifts the RNG stream of later draws.
+    """
     total = sum(weight for __, weight in entries)
-    pick = rng.random() * total
+    draw = rng.random()
+    if total <= 0.0:
+        return entries[min(int(draw * len(entries)), len(entries) - 1)][0]
+    pick = draw * total
     acc = 0.0
     for value, weight in entries:
         acc += weight

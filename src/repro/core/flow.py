@@ -251,7 +251,7 @@ class ISEDesignFlow:
                           nodes=len(instance.dfg))
             obs.gauge("flow.hot_blocks", len(hot))
         explorer = self._explorer_factory(self)
-        jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        jobs = resolve_jobs(self.jobs if jobs is None else jobs, obs=obs)
         with obs.timer("flow.explore_blocks"):
             results = self._explore_hot_blocks(explorer, hot, jobs)
         candidates = []

@@ -64,8 +64,20 @@ def hardware_grouping(dfg, state, prev_schedule, memo=None):
     chosen_hw = prev_schedule.hardware_chosen_set()
     chosen_sig = frozenset(chosen_hw)
     chosen = prev_schedule.chosen
+    full_key = None
+    if memo is not None:
+        # Whole-sweep memo: the complete result is a pure function of
+        # (chosen-hardware set, its chosen labels) given the state's
+        # option tables, and converged colonies repeat exactly that
+        # signature iteration after iteration.  VirtualGroups are
+        # immutable and consumers only read, so the dict is shared.
+        full_key = ("groups", chosen_sig,
+                    tuple(chosen[m].label for m in sorted(chosen_hw)))
+        cached = memo.get(full_key)
+        if cached is not None:
+            return cached
     groups = {}
-    for uid in dfg.nodes:
+    for uid in getattr(state, "hw_uids", None) or dfg.nodes:
         hw_options = state.hardware_options(uid)
         if not hw_options:
             continue
@@ -97,13 +109,15 @@ def hardware_grouping(dfg, state, prev_schedule, memo=None):
                     return _opt
                 return chosen[node]
 
-            delay = subgraph_delay_ns(dfg.graph, members, option_of)
+            delay = subgraph_delay_ns(dfg, members, option_of)
             area = subgraph_area(members, option_of)
             cycles = prev_schedule.technology.cycles_for_delay(delay)
             if memo is not None:
                 memo[group_key] = (delay, cycles, area)
             groups[(uid, option.label)] = VirtualGroup(
                 uid, option, members, delay, cycles, area)
+    if memo is not None:
+        memo[full_key] = groups
     return groups
 
 

@@ -15,6 +15,9 @@ from ..graph.analysis import SubgraphIOTracker
 from ..hwlib.asfu import IncrementalDelay
 from ..sched.resources import Needs, ReservationTable
 
+#: Sentinel "no placed external consumer yet" — larger than any cycle.
+_NO_CONSUMER = float("inf")
+
 
 class Cluster:
     """An ISE under construction within one iteration's schedule.
@@ -22,11 +25,14 @@ class Cluster:
     Geometry (the §4.2 ``IN``/``OUT`` value sets and the combinational
     critical path) is cached in incremental trackers and revised as
     members join, instead of being rebuilt from the member set on every
-    join attempt.
+    join attempt.  ``min_ext_start`` caches the earliest start cycle of
+    any already-placed external consumer of a member, so growing the
+    critical path checks one number instead of walking every member's
+    successors.
     """
 
     __slots__ = ("cid", "members", "start", "option_of", "delay_ns",
-                 "cycles", "needs", "io", "timing")
+                 "cycles", "needs", "io", "timing", "min_ext_start")
 
     def __init__(self, cid, start):
         self.cid = cid
@@ -38,6 +44,7 @@ class Cluster:
         self.needs = None
         self.io = None
         self.timing = None
+        self.min_ext_start = _NO_CONSUMER
 
     def __repr__(self):
         return "Cluster({} @C{}, {} ops, {} cyc)".format(
@@ -60,6 +67,15 @@ class IterationSchedule:
         self.order = {}
         self._next_order = 0
         self._next_cluster = 0
+        # Incremental readiness/makespan bookkeeping, maintained at
+        # _commit time so placements never rescan their predecessors:
+        # software finish cycles are immutable once committed and fold
+        # into scalars; cluster finishes can still grow as members
+        # join, so a node keeps references to its placed predecessor
+        # clusters and reads their current finish on demand.
+        self._ready_sw = {}          # uid -> max finish of sw-placed preds
+        self._pred_clusters = {}     # uid -> [distinct placed pred clusters]
+        self._makespan_sw = 0
         # Cheap always-on packing tallies (Fig. 4.3.4), aggregated into
         # the observability counters at round end.
         self.stat_cluster_opens = 0
@@ -82,17 +98,24 @@ class IterationSchedule:
 
     def data_ready(self, uid):
         """Earliest start cycle permitted by already-placed parents."""
-        ready = 0
-        for pred in self.dfg.predecessors(uid):
-            ready = max(ready, self.finish(pred))
+        ready = self._ready_sw.get(uid, 0)
+        clusters = self._pred_clusters.get(uid)
+        if clusters:
+            for cluster in clusters:
+                finish = cluster.start + cluster.cycles
+                if finish > ready:
+                    ready = finish
         return ready
 
     @property
     def makespan(self):
         """Cycles until the last placed operation finishes."""
-        if not self.start:
-            return 0
-        return max(self.finish(uid) for uid in self.start)
+        span = self._makespan_sw
+        for cluster in self.clusters:
+            finish = cluster.start + cluster.cycles
+            if finish > span:
+                span = finish
+        return span
 
     def chose_hardware(self, uid):
         """True when ``uid`` sits in an ISE cluster."""
@@ -133,7 +156,9 @@ class IterationSchedule:
             cluster = self.cluster_of.get(pred)
             if cluster is not None and cluster not in seen:
                 seen.append(cluster)
-        return sorted(seen, key=lambda c: -c.start)
+        if len(seen) > 1:
+            seen.sort(key=lambda c: -c.start)
+        return seen
 
     def _try_join(self, cluster, uid, option):
         """Fuse ``uid`` into ``cluster`` when legal and resource-feasible.
@@ -158,7 +183,7 @@ class IterationSchedule:
             # the cached arrival times cannot be extended in place.
             option_map = dict(cluster.option_of)
             option_map[uid] = option
-            probe = IncrementalDelay(self.dfg.graph)
+            probe = IncrementalDelay(self.dfg)
             probe.rebuild(cluster.members | {uid}, option_map.__getitem__)
             new_delay = probe.delay_ns
         else:
@@ -169,15 +194,11 @@ class IterationSchedule:
         if limit is not None and new_cycles > limit:
             return False              # pipestage timing constraint
         # Growing the critical path must not overrun an already-placed
-        # consumer of any current member.
+        # consumer of any current member — one compare against the
+        # cluster's cached earliest external-consumer start.
         new_finish = cluster.start + new_cycles
-        for member in cluster.members:
-            for succ in self.dfg.successors(member):
-                if succ == uid or succ in cluster.members \
-                        or succ not in self.start:
-                    continue
-                if self.start[succ] < new_finish:
-                    return False
+        if new_finish > cluster.min_ext_start:
+            return False
         new_needs = Needs(reads=n_in, writes=n_out, fu_kind="asfu")
         self.table.release(cluster.start, cluster.needs)
         if not self.table.fits(cluster.start, new_needs):
@@ -210,7 +231,7 @@ class IterationSchedule:
         cluster.members = {uid}
         cluster.option_of = {uid: option}
         cluster.io = io
-        cluster.timing = IncrementalDelay(self.dfg.graph)
+        cluster.timing = IncrementalDelay(self.dfg)
         cluster.timing.commit(uid, option.delay_ns, option.delay_ns)
         cluster.needs = needs
         cluster.delay_ns = option.delay_ns
@@ -226,6 +247,35 @@ class IterationSchedule:
         self.chosen[uid] = option
         self.order[uid] = self._next_order
         self._next_order = self._next_order + 1
+        dfg = self.dfg
+        cluster = self.cluster_of.get(uid)
+        if cluster is None:
+            # Software finish cycles never change again: fold them into
+            # the per-successor readiness scalars and the makespan.
+            finish = cycle + option.cycles
+            if finish > self._makespan_sw:
+                self._makespan_sw = finish
+            ready_sw = self._ready_sw
+            for succ in dfg.successors(uid):
+                if finish > ready_sw.get(succ, 0):
+                    ready_sw[succ] = finish
+        else:
+            # Cluster finishes can still grow; successors track the
+            # cluster itself and read its finish when asked.
+            pred_clusters = self._pred_clusters
+            for succ in dfg.successors(uid):
+                clusters = pred_clusters.get(succ)
+                if clusters is None:
+                    pred_clusters[succ] = [cluster]
+                elif cluster not in clusters:
+                    clusters.append(cluster)
+        # This placement is an external consumer of every *other*
+        # cluster a parent sits in: tighten their growth ceilings.
+        for pred in dfg.predecessors(uid):
+            pred_cluster = self.cluster_of.get(pred)
+            if (pred_cluster is not None and pred_cluster is not cluster
+                    and cycle < pred_cluster.min_ext_start):
+                pred_cluster.min_ext_start = cycle
 
     # -- realized-assignment views --------------------------------------------
 
@@ -242,7 +292,7 @@ class IterationSchedule:
 
     def verify(self):
         """Sanity-check dependences of the (possibly partial) schedule."""
-        for src, dst in self.dfg.graph.edges:
+        for src, dst in self.dfg.edge_pairs():
             if src not in self.start or dst not in self.start:
                 continue
             same_cluster = (self.cluster_of.get(src) is not None

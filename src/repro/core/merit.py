@@ -47,10 +47,8 @@ def update_merits(dfg, state, schedule, constraints):
     # Software merits only ever multiply by the option's own latency, so
     # the whole sweep is one vector operation over the software slots.
     state.multiply_software_merits()
-    for uid in dfg.nodes:
+    for uid in state.hw_uids:
         hw_options = state.hardware_options(uid)
-        if not hw_options:
-            continue
         # Case 1 — critical-path boost (dividing by beta_cp < 1 raises
         # the merit of every hardware option of a critical operation).
         if (params.use_critical_path_boost and analysis.is_critical(uid)):

@@ -41,12 +41,21 @@ def _mark_worker():
     _in_worker = True
 
 
-def resolve_jobs(jobs=None):
+def _available_cpus():
+    """CPUs this process may use (mockable seam for the clamp tests)."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs=None, obs=None):
     """Normalise a ``jobs`` request into a positive worker count.
 
     ``None`` falls back to ``REPRO_JOBS`` (default 1 — serial); ``0``
-    or ``"auto"`` selects :func:`os.cpu_count`.  Inside a pool worker
-    this always returns 1 so parallel sections never nest.
+    or ``"auto"`` selects :func:`os.cpu_count`.  Requests beyond the
+    host's CPU count are clamped to it — oversubscribed pools only add
+    pickling and context-switch overhead to a CPU-bound fan-out.
+    Inside a pool worker this always returns 1 so parallel sections
+    never nest.  When an enabled ``obs`` observer is passed, the
+    effective count is recorded as the ``jobs.effective`` gauge.
     """
     if _in_worker:
         return 1
@@ -63,9 +72,12 @@ def resolve_jobs(jobs=None):
                     "jobs must be an integer or 'auto', got {!r}".format(
                         jobs)) from None
     if jobs == 0:
-        jobs = os.cpu_count() or 1
+        jobs = _available_cpus()
     if jobs < 0:
         raise ConfigError("jobs must be non-negative, got {}".format(jobs))
+    jobs = min(jobs, _available_cpus())
+    if obs:
+        obs.gauge("jobs.effective", jobs)
     return jobs
 
 

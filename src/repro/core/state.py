@@ -164,6 +164,15 @@ class ExplorationState:
                     sw_cycles.append(float(option.cycles))
             self._span[uid] = (offset, len(self._flat_keys))
             self._pairs_of[uid] = pairs
+        # Hardware-option views are requested every iteration by the
+        # merit sweep and the grouping pass; the option tables are
+        # frozen for the round, so build the per-uid lists once.
+        self._hw_options = {uid: [opt for opt in self.options[uid]
+                                  if opt.is_hardware]
+                            for uid in self._uids}
+        #: Uids owning at least one hardware option, in node order.
+        self.hw_uids = tuple(uid for uid in self._uids
+                             if self._hw_options[uid])
         self._trail_vec = np.array(trail_init, dtype=np.float64)
         self._merit_vec = np.array(merit_init, dtype=np.float64)
         self._sw_slots = np.array(sw_slots, dtype=np.intp)
@@ -218,7 +227,7 @@ class ExplorationState:
 
     def hardware_options(self, uid):
         """The hardware options of operation ``uid``."""
-        return [opt for opt in self.options[uid] if opt.is_hardware]
+        return self._hw_options[uid]
 
     def keys_of(self, uid):
         """The (uid, label) merit/trail keys of operation ``uid``."""
@@ -383,20 +392,24 @@ class ExplorationState:
         sum to ``merit_scale × #options`` with a floor per option.
         """
         params = self.params
+        scale = params.merit_scale
+        floor = params.merit_floor
         merit = self._merit_vec
+        # One flat pass in plain floats (same IEEE doubles as the numpy
+        # ops it replaces) and a single bulk write-back: per-segment
+        # numpy slicing dominated this per-iteration sweep.
         flat = merit.tolist()
-        for uid in self._uids:
-            offset, stop = self._span[uid]
+        for offset, stop in self._span.values():
             total = 0.0
             for value in flat[offset:stop]:
                 total += value
-            count = stop - offset
-            target = params.merit_scale * count
             if total <= 0.0:
-                merit[offset:stop] = params.merit_scale
+                for index in range(offset, stop):
+                    flat[index] = scale
                 continue
-            factor = target / total
-            segment = merit[offset:stop] * factor
-            np.maximum(segment, params.merit_floor, out=segment)
-            merit[offset:stop] = segment
+            factor = (scale * (stop - offset)) / total
+            for index in range(offset, stop):
+                value = flat[index] * factor
+                flat[index] = value if value > floor else floor
+        merit[:] = flat
         self._touch_all()

@@ -24,7 +24,7 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bump when the pickled ``ExploredApplication`` layout changes; stale
 #: schema versions simply miss instead of unpickling garbage.
-_CACHE_SCHEMA = 1
+_CACHE_SCHEMA = 2
 
 
 class ExplorationCache:

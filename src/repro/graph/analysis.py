@@ -108,11 +108,20 @@ class SubgraphIOTracker:
             return True
         return any(succ not in members for succ in dfg.data_successors(uid))
 
+    def _escapes_grown(self, uid, added):
+        """:meth:`_escapes` against ``members | {added}`` without building
+        the grown set (previews run per fusion probe, mostly rejected)."""
+        dfg = self.dfg
+        if dfg.is_output(uid):
+            return True
+        members = self.members
+        return any(succ != added and succ not in members
+                   for succ in dfg.data_successors(uid))
+
     def preview_add(self, uid):
         """Sizes of IN/OUT after adding ``uid``, without committing."""
         dfg = self.dfg
         members = self.members
-        new_members = members | {uid}
         edges = dfg.graph.edges
         # IN: edges uid -> member stop crossing; uid's own external
         # inputs and crossing in-edges start counting.
@@ -126,7 +135,7 @@ class SubgraphIOTracker:
         for value in dfg.external_inputs(uid):
             delta_in[value] = delta_in.get(value, 0) + 1
         for pred in dfg.data_predecessors(uid):
-            if pred not in new_members:
+            if pred not in members:
                 for value in edges[pred, uid]["values"]:
                     delta_in[value] = delta_in.get(value, 0) + 1
         n_in = self.n_in
@@ -140,14 +149,13 @@ class SubgraphIOTracker:
         # OUT: uid may escape; member data-predecessors of uid may stop
         # escaping (uid was their last outside consumer).
         delta_out = {}
-        escapes = self._escapes(uid, new_members)
+        escapes = self._escapes_grown(uid, uid)
         if escapes:
             for value in dfg.op(uid).dests:
                 delta_out[value] = delta_out.get(value, 0) + 1
         stops_escaping = []
         for pred in dfg.data_predecessors(uid):
-            if pred in self._escaping and not self._escapes(pred,
-                                                            new_members):
+            if pred in self._escaping and not self._escapes_grown(pred, uid):
                 stops_escaping.append(pred)
                 for value in dfg.op(pred).dests:
                     delta_out[value] = delta_out.get(value, 0) - 1

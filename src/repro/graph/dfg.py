@@ -36,6 +36,38 @@ class DFG:
         self.output_nodes = set()
         #: per-node list of external input value names
         self._ext_inputs = {}
+        # Flat adjacency cache: the exploration engine walks neighbours
+        # millions of times per block but never mutates the graph, so
+        # the networkx adjacency views are snapshotted into plain tuples
+        # (same iteration order) on first use and dropped on mutation.
+        self._adj = None
+
+    def __setstate__(self, state):
+        # Pickles predating the adjacency cache lack ``_adj``.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_adj", None)
+
+    def _adjacency(self):
+        adj = self._adj
+        if adj is None:
+            graph = self.graph
+            edges = graph.edges
+            preds, succs, dpreds, dsuccs, ops, both = {}, {}, {}, {}, {}, {}
+            for uid in graph.nodes:
+                ops[uid] = graph.nodes[uid]["op"]
+                pred = tuple(graph.predecessors(uid))
+                succ = tuple(graph.successors(uid))
+                preds[uid] = pred
+                succs[uid] = succ
+                both[uid] = pred + succ
+                dpreds[uid] = tuple(
+                    p for p in pred if edges[p, uid]["kind"] == "data")
+                dsuccs[uid] = tuple(
+                    s for s in succ if edges[uid, s]["kind"] == "data")
+            adj = self._adj = (preds, succs, dpreds, dsuccs,
+                               tuple(sorted(graph.nodes)), ops,
+                               tuple(graph.edges), both)
+        return adj
 
     # -- structure ----------------------------------------------------------
 
@@ -46,6 +78,7 @@ class DFG:
             raise IRError("duplicate DFG node uid {}".format(operation.uid))
         self.graph.add_node(operation.uid, op=operation)
         self._ext_inputs[operation.uid] = list(ext_inputs)
+        self._adj = None
         return operation.uid
 
     def add_data_edge(self, src, dst, value):
@@ -57,20 +90,28 @@ class DFG:
             values.add(value)
         else:
             self.graph.add_edge(src, dst, kind="data", values={value})
+        self._adj = None
 
     def add_order_edge(self, src, dst):
         """Add a memory-ordering edge (no value carried)."""
         if not self.graph.has_edge(src, dst):
             self.graph.add_edge(src, dst, kind="order", values=set())
+            self._adj = None
 
     def op(self, uid):
         """The :class:`Operation` at node ``uid``."""
-        return self.graph.nodes[uid]["op"]
+        adj = self._adj
+        if adj is None:
+            adj = self._adjacency()
+        return adj[5][uid]
 
     @property
     def nodes(self):
         """All node uids, sorted (== program order by construction)."""
-        return sorted(self.graph.nodes)
+        adj = self._adj
+        if adj is None:
+            adj = self._adjacency()
+        return list(adj[4])
 
     def __len__(self):
         return self.graph.number_of_nodes()
@@ -80,27 +121,52 @@ class DFG:
 
     def predecessors(self, uid):
         """All predecessors (data and order edges)."""
-        return self.graph.predecessors(uid)
+        adj = self._adj
+        if adj is None:
+            adj = self._adjacency()
+        return adj[0][uid]
 
     def successors(self, uid):
         """All successors (data and order edges)."""
-        return self.graph.successors(uid)
+        adj = self._adj
+        if adj is None:
+            adj = self._adjacency()
+        return adj[1][uid]
 
     def data_predecessors(self, uid):
         """Predecessors connected by data edges."""
-        for pred in self.graph.predecessors(uid):
-            if self.graph.edges[pred, uid]["kind"] == "data":
-                yield pred
+        adj = self._adj
+        if adj is None:
+            adj = self._adjacency()
+        return adj[2][uid]
 
     def data_successors(self, uid):
         """Successors connected by data edges."""
-        for succ in self.graph.successors(uid):
-            if self.graph.edges[uid, succ]["kind"] == "data":
-                yield succ
+        adj = self._adj
+        if adj is None:
+            adj = self._adjacency()
+        return adj[3][uid]
+
+    def edge_pairs(self):
+        """All ``(src, dst)`` edges, in graph iteration order."""
+        adj = self._adj
+        if adj is None:
+            adj = self._adjacency()
+        return adj[6]
+
+    def neighbours(self, uid):
+        """Predecessors then successors, as one cached tuple."""
+        adj = self._adj
+        if adj is None:
+            adj = self._adjacency()
+        return adj[7][uid]
 
     def external_inputs(self, uid):
-        """Value names node ``uid`` reads from outside the block."""
-        return list(self._ext_inputs.get(uid, ()))
+        """Value names node ``uid`` reads from outside the block.
+
+        The returned sequence is shared — treat it as read-only.
+        """
+        return self._ext_inputs.get(uid, ())
 
     def is_output(self, uid):
         """True when the node's value must reach the register file."""

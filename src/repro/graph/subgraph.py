@@ -20,22 +20,19 @@ def grown_group(dfg, seed, chosen_hw):
     hardware-chosen neighbours are swallowed, software nodes block the
     growth.
     """
-    chosen_hw = set(chosen_hw)
+    if not isinstance(chosen_hw, (set, frozenset)):
+        chosen_hw = set(chosen_hw)
     group = {seed}
     frontier = [seed]
+    neighbours = dfg.neighbours
     while frontier:
         node = frontier.pop()
-        for neighbour in _neighbours(dfg, node):
+        for neighbour in neighbours(node):
             if neighbour in group or neighbour not in chosen_hw:
                 continue
             group.add(neighbour)
             frontier.append(neighbour)
     return group
-
-
-def _neighbours(dfg, node):
-    yield from dfg.predecessors(node)
-    yield from dfg.successors(node)
 
 
 def hardware_components(dfg, chosen_hw):

@@ -26,7 +26,9 @@ def subgraph_delay_ns(graph, nodes, option_of):
 
     The delay of a path is the sum of the hardware delays of its
     operations; edges leaving the node set are ignored.  ``nodes`` must
-    be non-empty and induce an acyclic subgraph of ``graph``.
+    be non-empty and induce an acyclic subgraph of ``graph`` — any
+    object exposing ``predecessors``/``successors`` (a DiGraph or a
+    :class:`~repro.graph.dfg.DFG`, whose cached adjacency is cheaper).
     """
     members = set(nodes)
     if not members:
@@ -108,7 +110,11 @@ def _topological(graph, members):
     """Topological order of ``members`` within the DAG ``graph``."""
     indegree = {}
     for node in members:
-        indegree[node] = sum(1 for p in graph.predecessors(node) if p in members)
+        degree = 0
+        for p in graph.predecessors(node):
+            if p in members:
+                degree += 1
+        indegree[node] = degree
     ready = sorted(node for node, deg in indegree.items() if deg == 0)
     order = []
     while ready:

@@ -99,6 +99,7 @@ class TestResolveJobs:
         assert resolve_jobs() == 1
 
     def test_env_fallback(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 8)
         monkeypatch.setenv(parallel.JOBS_ENV, "3")
         assert resolve_jobs() == 3
         assert resolve_jobs(2) == 2            # explicit beats env
@@ -106,6 +107,22 @@ class TestResolveJobs:
     def test_auto_uses_cpu_count(self):
         assert resolve_jobs("auto") >= 1
         assert resolve_jobs(0) == resolve_jobs("auto")
+
+    def test_clamps_to_available_cpus(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 2)
+        assert resolve_jobs(16) == 2
+        assert resolve_jobs(2) == 2
+        assert resolve_jobs(1) == 1
+        monkeypatch.setenv(parallel.JOBS_ENV, "64")
+        assert resolve_jobs() == 2             # env requests clamp too
+
+    def test_clamp_emits_effective_gauge(self, monkeypatch):
+        from repro.obs.observer import Observer
+
+        monkeypatch.setattr(parallel, "_available_cpus", lambda: 4)
+        obs = Observer()
+        assert resolve_jobs(32, obs=obs) == 4
+        assert obs.metrics.snapshot()["gauges"]["jobs.effective"] == 4
 
     def test_rejects_garbage(self):
         with pytest.raises(ConfigError):
@@ -148,9 +165,33 @@ class TestRouletteEdges:
     def test_single_entry(self):
         assert _roulette([("only", 0.25)], _FixedRng(0.7)) == "only"
 
-    def test_all_zero_weights_returns_first(self):
+    def test_all_zero_weights_draws_uniformly(self):
+        # Degenerate wheel: the draw must spread over the entries, not
+        # collapse onto one of them.
         entries = [("a", 0.0), ("b", 0.0)]
-        assert _roulette(entries, _FixedRng(0.9)) == "a"
+        assert _roulette(entries, _FixedRng(0.0)) == "a"
+        assert _roulette(entries, _FixedRng(0.49)) == "a"
+        assert _roulette(entries, _FixedRng(0.51)) == "b"
+        assert _roulette(entries, _FixedRng(0.9)) == "b"
+        # rng.random() beyond [0, 1) (only possible from a fake) still
+        # lands on a valid entry.
+        assert _roulette(entries, _FixedRng(1.0)) == "b"
+
+    def test_all_zero_weights_consumes_one_draw(self):
+        # The degenerate path must consume exactly one rng.random(),
+        # like the proportional path, so later draws are unshifted.
+        class _CountingRng:
+            calls = 0
+
+            def random(self):
+                self.calls += 1
+                return 0.25
+
+        rng = _CountingRng()
+        _roulette([("a", 0.0), ("b", 0.0)], rng)
+        assert rng.calls == 1
+        _roulette([("a", 1.0), ("b", 1.0)], rng)
+        assert rng.calls == 2
 
 
 class TestStateEdges:

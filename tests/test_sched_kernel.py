@@ -1,0 +1,172 @@
+"""Scheduling-kernel invariants: reservation-table revision cycles and
+the Fig. 4.3.4 cluster-join reject paths."""
+
+import pickle
+
+import pytest
+
+from repro.config import ISEConstraints
+from repro.core.iteration import IterationSchedule
+from repro.errors import SchedulingError
+from repro.hwlib import DEFAULT_DATABASE, DEFAULT_TECHNOLOGY, \
+    default_io_table
+from repro.hwlib.options import HardwareOption
+from repro.sched import MachineConfig
+from repro.sched.resources import Needs, ReservationTable
+
+from conftest import chain_dfg, dfg_from_block, wide_dfg
+
+
+def make_table(machine=None):
+    return ReservationTable(machine or MachineConfig(2, "4/2"))
+
+
+def make_schedule(dfg, machine=None, constraints=None):
+    machine = machine or MachineConfig(2, "4/2")
+    constraints = constraints or ISEConstraints()
+    return IterationSchedule(dfg, machine, DEFAULT_TECHNOLOGY, constraints)
+
+
+def options_of(dfg, uid):
+    return default_io_table(dfg.op(uid), DEFAULT_DATABASE)
+
+
+class TestReservationInvariants:
+    def test_place_release_replace_no_leak(self):
+        """Cluster revision (release + wider re-place) leaks nothing."""
+        table = make_table()
+        small = Needs(reads=2, writes=1, fu_kind="asfu")
+        wide = Needs(reads=3, writes=2, fu_kind="asfu")
+        baseline = table.usage(0)
+        for __ in range(5):
+            table.place(0, small)
+            table.release(0, small)
+            table.place(0, wide)
+            table.release(0, wide)
+        assert table.usage(0) == baseline
+        assert table.verify_nonnegative() is True
+
+    def test_release_without_place_raises(self):
+        table = make_table()
+        with pytest.raises(SchedulingError):
+            table.release(0, Needs(reads=1))
+        # Same for a cycle that was touched but not by this demand.
+        table.place(3, Needs(reads=1, writes=1, fu_kind="alu"))
+        with pytest.raises(SchedulingError):
+            table.release(3, Needs(reads=2, writes=1, fu_kind="alu"))
+
+    def test_verify_nonnegative_detects_tampering(self):
+        table = make_table()
+        table.place(2, Needs(reads=1, writes=1))
+        table._use[1][2] = -1        # corrupt the RF-read row directly
+        with pytest.raises(SchedulingError):
+            table.verify_nonnegative()
+
+    def test_usage_drops_zeroed_fu_kinds(self):
+        """Released FU capacity leaves no stale zero entries behind."""
+        table = make_table()
+        needs = Needs(reads=1, writes=1, fu_kind="asfu")
+        table.place(0, needs)
+        assert table.usage(0)[3] == {"asfu": 1}
+        table.release(0, needs)
+        assert table.usage(0)[3] == {}
+
+    def test_pickle_roundtrip_preserves_usage(self):
+        table = make_table()
+        table.place(0, Needs(reads=2, writes=1, fu_kind="alu"))
+        table.place(7, Needs(reads=1, writes=1, fu_kind="asfu"))
+        clone = pickle.loads(pickle.dumps(table))
+        for cycle in (0, 7, 8):
+            assert clone.usage(cycle) == table.usage(cycle)
+        assert clone.verify_nonnegative() is True
+
+
+def consumer_dfg():
+    """0 feeds both a software consumer (1) and a join candidate (2)."""
+
+    def body(b):
+        t0 = b.xor("a", "b")
+        t1 = b.addu(t0, "c")
+        t2 = b.addu(t0, "d")
+        return b.or_(t1, t2)
+
+    return dfg_from_block(body)
+
+
+class TestTryJoinRejects:
+    def test_port_overflow_counts_rejects(self):
+        dfg = wide_dfg(6)
+        constraints = ISEConstraints(n_in=2, n_out=1)
+        sched = make_schedule(dfg, MachineConfig(4, "8/4"), constraints)
+        for uid in dfg.nodes:
+            sched.schedule_hardware(uid, options_of(dfg, uid).hardware[0])
+        assert len(sched.clusters) > 1
+        assert sched.stat_join_rejects > 0
+        sched.verify()
+
+    def test_pipestage_limit_splits_chain(self):
+        # 4.04 ns adders at 100 MHz: two chain fit one cycle, the third
+        # join would need two — rejected under max_ise_cycles=1.
+        dfg = chain_dfg(4)
+        sched = make_schedule(
+            dfg, constraints=ISEConstraints(max_ise_cycles=1))
+        for uid in dfg.nodes:
+            sched.schedule_hardware(uid, options_of(dfg, uid).hardware[0])
+        assert all(c.cycles == 1 for c in sched.clusters)
+        assert len(sched.clusters) == 2
+        assert sched.stat_join_rejects > 0
+        sched.verify()
+
+    def test_placed_consumer_blocks_growth(self):
+        # A scheduled external consumer caps the cluster's finish: a
+        # slow op that would stretch the critical path past it must
+        # open its own cluster instead of fusing.
+        dfg = consumer_dfg()
+        sched = make_schedule(dfg)
+        sched.schedule_hardware(0, options_of(dfg, 0).hardware[0])
+        sched.schedule_software(1, options_of(dfg, 1).software[0])
+        cluster = sched.clusters[0]
+        assert cluster.min_ext_start == sched.start[1]
+        rejects_before = sched.stat_join_rejects
+        sched.schedule_hardware(2, HardwareOption("slow", 50.0, 1.0))
+        assert sched.stat_join_rejects == rejects_before + 1
+        assert len(sched.clusters) == 2
+        assert sched.cluster_of[2] is not cluster
+        sched.verify()
+
+    def test_join_keeps_table_consistent_after_reject(self):
+        # The probing release/re-place inside _try_join must restore
+        # the table exactly when the grown reservation does not fit the
+        # cycle (a software op already holds the register ports).
+        def body(b):
+            t0 = b.xor("a", "b")          # 0 — hw, opens the cluster
+            blocker = b.addu("c", "d")    # 1 — sw, same cycle, 2 reads
+            t2 = b.addu(t0, "e")          # 2 — join would need 3 reads
+            return b.or_(blocker, t2)     # 3
+
+        dfg = dfg_from_block(body, params=("a", "b", "c", "d", "e"))
+        sched = make_schedule(dfg)
+        sched.schedule_hardware(0, options_of(dfg, 0).hardware[0])
+        sched.schedule_software(1, options_of(dfg, 1).software[0])
+        cluster = sched.clusters[0]
+        assert sched.start[1] == cluster.start
+        usage_before = sched.table.usage(cluster.start)
+        rejects_before = sched.stat_join_rejects
+        sched.schedule_hardware(2, options_of(dfg, 2).hardware[0])
+        assert sched.stat_join_rejects == rejects_before + 1
+        assert sched.cluster_of[2] is not cluster
+        assert sched.table.usage(cluster.start) == usage_before
+        assert sched.table.verify_nonnegative() is True
+        sched.verify()
+
+
+class TestVerifyRaises:
+    def test_tampered_start_raises(self):
+        dfg = chain_dfg(3)
+        sched = make_schedule(dfg)
+        for uid in dfg.nodes:
+            sched.schedule_software(uid, options_of(dfg, uid).software[0])
+        sched.verify()
+        sched.start[1] = 0            # now overlaps its parent's cycle
+        with pytest.raises(SchedulingError):
+            sched.verify()
