@@ -7,8 +7,11 @@ comes from ``REPRO_EVAL_PROFILE`` (default ``quick``; set ``full`` for
 the paper's §5.1 settings).
 """
 
+import os
+
 import pytest
 
+from repro.core.parallel import resolve_jobs
 from repro.eval import EvalContext
 
 
@@ -27,3 +30,17 @@ def small_ctx():
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def jobs_environment(requested):
+    """Parallelism fields every ``BENCH_*.json`` payload must carry.
+
+    A scaling run is unreadable without all three: what was asked for
+    (``jobs_requested``), what the clamp actually granted
+    (``jobs_effective``) and the host it was granted on (``cpus``).
+    """
+    return {
+        "cpus": os.cpu_count(),
+        "jobs_requested": requested,
+        "jobs_effective": resolve_jobs(requested),
+    }

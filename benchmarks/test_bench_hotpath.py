@@ -21,7 +21,7 @@ from repro.ir.passes.pipeline import optimize
 from repro.sched.machine import MachineConfig
 from repro.workloads import get_workload
 
-from conftest import run_once
+from conftest import jobs_environment, run_once
 
 WORKLOADS = ("crc32", "bitcount", "adpcm")
 JOBS = 4
@@ -73,8 +73,7 @@ def test_bench_hotpath_parallel(benchmark):
     payload = {
         "workloads": list(WORKLOADS),
         "blocks": len(dfgs),
-        "jobs": JOBS,
-        "cpus": os.cpu_count(),
+        "jobs": jobs_environment(JOBS),
         "iterations": iterations,
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),

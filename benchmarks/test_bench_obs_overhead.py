@@ -27,7 +27,7 @@ from repro.obs import NULL_OBSERVER, Observer
 from repro.sched.machine import MachineConfig
 from repro.workloads import get_workload
 
-from conftest import run_once
+from conftest import jobs_environment, run_once
 
 WORKLOADS = ("crc32", "bitcount", "adpcm")
 OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
@@ -114,6 +114,7 @@ def test_bench_obs_overhead(benchmark):
     payload = {
         "workloads": list(WORKLOADS),
         "blocks": len(dfgs),
+        "jobs": jobs_environment(1),
         "plain_s": round(plain_s, 3),
         "observed_s": round(observed_s, 3),
         "hook_crossings": crossings,

@@ -31,7 +31,7 @@ from repro.ir.passes.pipeline import optimize
 from repro.sched.machine import MachineConfig
 from repro.workloads import get_workload
 
-from conftest import run_once
+from conftest import jobs_environment, run_once
 
 WORKLOADS = ("crc32", "bitcount", "adpcm")
 JOBS = 4
@@ -123,7 +123,7 @@ def test_bench_sched_kernel(benchmark):
     payload = {
         "workloads": list(WORKLOADS),
         "blocks": len(dfgs),
-        "cpus": os.cpu_count(),
+        "jobs": jobs_environment(JOBS),
         "iterations": iterations,
         "repeats": REPEATS,
         "serial_s": round(serial_s, 3),

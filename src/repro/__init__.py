@@ -47,7 +47,13 @@ from .obs import (
     Observer,
     ProgressSink,
 )
-from .api import ExploreResult, SelectionResult, evaluate, explore
+from .api import (
+    ExploreResult,
+    SelectionResult,
+    evaluate,
+    explore,
+    shutdown_pools,
+)
 
 __version__ = "1.1.0"
 
@@ -80,5 +86,6 @@ __all__ = [
     "explore",
     "get_workload",
     "paper_machines",
+    "shutdown_pools",
     "workload_names",
 ]

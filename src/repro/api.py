@@ -15,6 +15,12 @@ Both accept ``trace=PATH`` to stream a JSON-lines observability trace
 (read back with ``python -m repro metrics PATH``) and ``observer=`` for
 a caller-owned :class:`~repro.obs.Observer`.
 
+``jobs > 1`` fans work over the persistent shared-memory worker pool
+(:mod:`repro.core.pool`); the pool survives across calls so repeated
+explorations amortise its startup.  :func:`shutdown_pools` (re-exported
+here) releases the workers and their shared-memory segments early —
+an ``atexit`` hook and ``EvalContext.close()`` otherwise handle it.
+
 Quickstart::
 
     from repro import explore, evaluate
@@ -28,6 +34,7 @@ from dataclasses import dataclass, field
 
 from .config import ExplorationParams, ISEConstraints
 from .core.flow import ISEDesignFlow
+from .core.pool import shutdown_pools  # re-export: public teardown  # noqa: F401
 from .errors import ReproError
 from .eval.runner import PROFILES
 from .obs import NULL_OBSERVER, JsonlSink, Observer
@@ -136,7 +143,8 @@ def explore(workload, *, issue=2, ports="4/2", profile="quick", jobs=None,
         for the library's §5.1 defaults.
     jobs:
         Worker processes (``None`` → ``$REPRO_JOBS`` or serial); the
-        result is bit-identical at any setting.
+        result is bit-identical at any setting.  Pooled workers persist
+        across calls (``REPRO_POOL_PERSIST=0`` opts out).
     seed:
         RNG seed of the ACO colonies.
     trace:

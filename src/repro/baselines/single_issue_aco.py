@@ -60,9 +60,9 @@ class SingleIssueExplorer:
         self._tag(result)
         return result
 
-    def explore_many(self, dfgs, jobs=None):
+    def explore_many(self, dfgs, jobs=None, costs=None):
         """Explore several DFGs with (block, restart) pool granularity."""
-        results = self._inner.explore_many(dfgs, jobs=jobs)
+        results = self._inner.explore_many(dfgs, jobs=jobs, costs=costs)
         for result in results:
             self._tag(result)
         return results

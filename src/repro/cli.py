@@ -62,7 +62,10 @@ def _add_effort_args(parser):
                         help="worker processes for exploration: an "
                              "integer, or 'auto' for one per CPU "
                              "(default: $REPRO_JOBS or serial); results "
-                             "are identical at any setting")
+                             "are identical at any setting; workers "
+                             "persist in a shared-memory pool across "
+                             "explorations (REPRO_POOL_PERSIST=0 "
+                             "disables reuse)")
 
 
 def _add_obs_args(parser):
@@ -315,7 +318,14 @@ def main(argv=None):
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    finally:
+        # One-shot process: release the worker pool (and its shared
+        # memory) deterministically instead of leaning on atexit.
+        from .core.pool import shutdown_pools
+
+        shutdown_pools()
 
 
 if __name__ == "__main__":

@@ -28,13 +28,27 @@ recomputed, results are bit-identical with the cache on or off; the
 timing, not correctness.  One cache is shared across all rounds and
 restarts of a block (and across blocks — the DFG digest keys them
 apart).  Under ``jobs>1`` the cache pickles as a read-only warm
-snapshot: workers start from whatever the parent had accumulated,
-count their own hits/misses (replayed into the parent's metrics), and
-their insertions stay worker-local.
+snapshot: workers start from whatever the parent had accumulated and
+count their own hits/misses (replayed into the parent's metrics).
+
+Inside a pool worker there is additionally a **shared tier**
+(:class:`repro.core.pool.SharedEvalCache`): a local miss falls back to
+the read-mostly shared-memory table — where a cycle count memoised by
+*any* worker of *any* earlier dispatch may already sit — and every
+locally computed value is appended to a per-worker write log that the
+parent folds into the table between dispatches.  Shared-tier hits are
+tallied separately (``shared_hits``) and promoted into the local dict.
+The shared tier spans explorers with *different* machines and
+technologies (the evaluation grid, the single-issue baseline), so its
+keys are additionally scoped by the ``scope`` string the owning
+explorer passes in — without it a 2-issue cycle count could answer a
+4-issue probe and silently break bit-parity.
 """
 
 import hashlib
 import os
+
+from .pool import shared_key_bytes, worker_cache_note, worker_shared_cache
 
 #: Environment variable disabling the evaluation memo (set to ``0``).
 EVALCACHE_ENV = "REPRO_EVALCACHE"
@@ -81,14 +95,21 @@ def candidate_fingerprint(members, option_of):
 
 
 class EvalCache:
-    """Memo of ``fingerprint -> block cycles`` with hit/miss tallies."""
+    """Memo of ``fingerprint -> block cycles`` with hit/miss tallies.
 
-    __slots__ = ("_entries", "hits", "misses")
+    ``scope`` qualifies this cache's keys in the cross-worker shared
+    tier (machine + technology identity); it is irrelevant to the local
+    dict, which never outlives its explorer.
+    """
 
-    def __init__(self):
+    __slots__ = ("_entries", "hits", "misses", "shared_hits", "scope")
+
+    def __init__(self, scope=""):
         self._entries = {}
         self.hits = 0
         self.misses = 0
+        self.shared_hits = 0
+        self.scope = scope
 
     def __len__(self):
         return len(self._entries)
@@ -101,18 +122,33 @@ class EvalCache:
                 software_cycles)
 
     def get(self, key):
-        """Memoised cycles for ``key`` (None on miss)."""
+        """Memoised cycles for ``key`` (None on miss).
+
+        Misses in the local dict fall back to the shared tier when one
+        is attached (pool workers only); shared hits are promoted
+        locally so repeat probes stay a dict lookup.
+        """
         value = self._entries.get(key)
-        if value is None:
-            self.misses += 1
-        else:
+        if value is not None:
             self.hits += 1
-        return value
+            return value
+        shared = worker_shared_cache()
+        if shared is not None:
+            cycles = shared.lookup(shared_key_bytes(self.scope, key))
+            if cycles is not None:
+                self.hits += 1
+                self.shared_hits += 1
+                if len(self._entries) < MAX_ENTRIES:
+                    self._entries[key] = cycles
+                return cycles
+        self.misses += 1
+        return None
 
     def put(self, key, cycles):
-        """Record an evaluation outcome."""
+        """Record an evaluation outcome (and log it for the shared tier)."""
         if len(self._entries) < MAX_ENTRIES:
             self._entries[key] = cycles
+        worker_cache_note(self.scope, key, cycles)
 
     def stats(self):
         """``(hits, misses, entries)`` snapshot."""
@@ -121,14 +157,16 @@ class EvalCache:
     # -- pickling: warm read-only snapshot for pool workers ----------------
 
     def __getstate__(self):
-        return {"entries": dict(self._entries)}
+        return {"entries": dict(self._entries), "scope": self.scope}
 
     def __setstate__(self, state):
         self._entries = state["entries"]
+        self.scope = state.get("scope", "")
         # Worker-side tallies restart at zero so the deltas each task
         # replays into the parent metrics are intrinsic to that task.
         self.hits = 0
         self.misses = 0
+        self.shared_hits = 0
 
     def __repr__(self):
         return "EvalCache({} entries, {} hits / {} misses)".format(

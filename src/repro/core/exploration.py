@@ -108,8 +108,15 @@ class MultiIssueExplorer:
         #: Memo of deterministic candidate evaluations, shared across
         #: rounds, restarts and blocks (``REPRO_EVALCACHE=0`` disables).
         #: Pool workers receive it inside the pickled explorer as a
-        #: warm read-only snapshot (see :mod:`repro.core.evalcache`).
-        self._evalcache = EvalCache() if evalcache_enabled() else None
+        #: warm read-only snapshot and additionally probe the pool's
+        #: cross-worker shared tier, whose keys are scoped by the
+        #: machine/technology identity below — ``_evaluate`` depends on
+        #: both, and the shared tier outlives this explorer (see
+        #: :mod:`repro.core.evalcache`).
+        scope = "{}is|{}|{}|{!r}".format(
+            self.machine.issue_width, self.machine.register_file.spec,
+            sorted(self.machine.fu_counts.items()), self.technology)
+        self._evalcache = EvalCache(scope) if evalcache_enabled() else None
 
     # -- public API -------------------------------------------------------
 
@@ -139,13 +146,18 @@ class MultiIssueExplorer:
                        for restart in restarts)
         return self._best_of(results)
 
-    def explore_many(self, dfgs, jobs=None):
+    def explore_many(self, dfgs, jobs=None, costs=None):
         """Explore several DFGs; returns one best result per DFG.
 
         Fans every (block, restart) combination over the pool, which
         balances better than whole blocks when block sizes differ.  The
         per-restart reduction is the same as :meth:`explore`'s, so the
         returned list matches serial block-by-block exploration exactly.
+
+        ``costs`` — optional per-DFG cost estimates (the design flow
+        passes the profile phase's schedule lengths) — lets the pool
+        dispatch the longest blocks first so short ones backfill behind
+        them.  Scheduling hint only; results are unaffected.
         """
         dfgs = list(dfgs)
         jobs = resolve_jobs(self.jobs if jobs is None else jobs,
@@ -157,7 +169,11 @@ class MultiIssueExplorer:
         tasks = [(self, dfg, tables[index], restart)
                  for index, dfg in enumerate(dfgs)
                  for restart in restarts]
-        flat = parallel_map(_restart_task, tasks, jobs, obs=self.obs)
+        task_costs = None
+        if costs is not None and len(costs) == len(dfgs):
+            task_costs = [cost for cost in costs for __ in restarts]
+        flat = parallel_map(_restart_task, tasks, jobs, obs=self.obs,
+                            costs=task_costs)
         count = len(restarts)
         return [self._best_of(flat[index * count:(index + 1) * count])
                 for index in range(len(dfgs))]
@@ -176,6 +192,7 @@ class MultiIssueExplorer:
         if obs:
             cache = self._evalcache
             before = cache.stats() if cache is not None else None
+            before_shared = cache.shared_hits if cache is not None else 0
             with obs.timer("explore.restart"):
                 result = self._explore_once(dfg, rng, io_tables,
                                             restart=restart)
@@ -183,6 +200,8 @@ class MultiIssueExplorer:
                 hits, misses, entries = cache.stats()
                 obs.count("evalcache.hits", hits - before[0])
                 obs.count("evalcache.misses", misses - before[1])
+                obs.count("evalcache.shared_hits",
+                          cache.shared_hits - before_shared)
                 obs.gauge("evalcache.entries", entries)
             return result
         return self._explore_once(dfg, rng, io_tables, restart=restart)

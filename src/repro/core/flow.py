@@ -274,14 +274,24 @@ class ISEDesignFlow:
         """Explore the hot blocks, fanning out when ``jobs`` > 1.
 
         Explorers that support :meth:`explore_many` get (block, restart)
-        granularity; others are mapped block-by-block.
+        granularity; others are mapped block-by-block.  Either way the
+        profile phase's schedule lengths (``base_cycles``) ride along
+        as cost estimates, so the pool dispatches the longest blocks
+        first and short ones backfill behind them.
         """
+        costs = [instance.base_cycles or 0 for instance in hot]
         explore_many = getattr(explorer, "explore_many", None)
         if callable(explore_many):
-            return explore_many([b.dfg for b in hot], jobs=jobs)
+            try:
+                return explore_many([b.dfg for b in hot], jobs=jobs,
+                                    costs=costs)
+            except TypeError:
+                # Externally-supplied explorer without the costs hook.
+                return explore_many([b.dfg for b in hot], jobs=jobs)
         return parallel_map(_explore_block_task,
                             [(explorer, b.dfg) for b in hot], jobs,
-                            obs=getattr(explorer, "obs", None))
+                            obs=getattr(explorer, "obs", None),
+                            costs=costs)
 
     def _select_hot_blocks(self, blocks):
         eligible = [b for b in blocks

@@ -10,7 +10,8 @@ the shared plumbing:
   ``REPRO_JOBS`` environment variable into a worker count (``0`` /
   ``"auto"`` means one worker per CPU);
 * :func:`parallel_map` — ordered map over argument tuples, serial when
-  one worker (or one task) suffices, pooled otherwise.
+  one worker (or one task) suffices, fanned out over the persistent
+  :mod:`~repro.core.pool` worker pool otherwise.
 
 Nested pools are suppressed: workers are marked at fork/spawn time and
 always resolve to one job, so a parallel design flow never spawns
@@ -20,12 +21,12 @@ Observability survives the fan-out: when an enabled observer is passed
 to :func:`parallel_map`, each pooled task runs under a worker-local
 :mod:`~repro.obs.capture` buffer and ships its records back with the
 result; the parent replays them in task order — which is exactly the
-serial fire order — so sinks and metrics see one coherent stream at
-any worker count.
+serial fire order even when work stealing finishes tasks out of
+submission order — so sinks and metrics see one coherent stream at any
+worker count.
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 
 from ..errors import ConfigError
 
@@ -85,7 +86,8 @@ def _captured_call(function, *task):
     """Run one task under a worker-local observability capture buffer.
 
     Returns ``(result, records)``; the records are replayed by the
-    parent observer so events survive the process boundary.
+    parent observer so events survive the process boundary.  The pool
+    workers inline this same pattern around each claimed task.
     """
     from ..obs import capture
 
@@ -97,41 +99,26 @@ def _captured_call(function, *task):
     return result, records
 
 
-def parallel_map(function, tasks, jobs, obs=None):
-    """``[function(*task) for task in tasks]``, optionally process-pooled.
+def parallel_map(function, tasks, jobs, obs=None, costs=None):
+    """``[function(*task) for task in tasks]``, optionally pooled.
 
     Results keep task order, so any order-dependent reduction done by
     the caller (e.g. "first strictly better restart wins") is identical
     to the serial path.  ``function`` must be picklable (module level).
     An enabled ``obs`` observer gets worker-side events/metrics merged
     back in task (= serial fire) order.
+
+    ``jobs > 1`` fans out over the persistent worker pool
+    (:mod:`repro.core.pool`): the task list is broadcast once through
+    shared memory and workers pull items with work stealing.  ``costs``
+    — optional per-task cost estimates (e.g. profile-phase cycle
+    counts) — front-loads expensive tasks so short ones backfill; it
+    changes scheduling only, never results or their order.
     """
     tasks = list(tasks)
     if jobs <= 1 or len(tasks) <= 1:
         # Serial path: observer calls deliver inline, nothing to merge.
         return [function(*task) for task in tasks]
-    workers = min(jobs, len(tasks))
-    capturing = obs is not None and bool(obs)
-    with ProcessPoolExecutor(max_workers=workers,
-                             initializer=_mark_worker) as pool:
-        if capturing:
-            futures = [pool.submit(_captured_call, function, *task)
-                       for task in tasks]
-        else:
-            futures = [pool.submit(function, *task) for task in tasks]
-        try:
-            outcomes = [future.result() for future in futures]
-        except BaseException:
-            # Ctrl-C (or a failed task) must not wait out the whole
-            # queue: drop everything not yet running so the pool
-            # shutdown only waits for the in-flight tasks.
-            for future in futures:
-                future.cancel()
-            raise
-    if not capturing:
-        return outcomes
-    results = []
-    for result, records in outcomes:
-        obs.replay(records)
-        results.append(result)
-    return results
+    from .pool import dispatch
+
+    return dispatch(function, tasks, jobs, obs=obs, costs=costs)

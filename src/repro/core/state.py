@@ -37,6 +37,7 @@ to the per-key formulation.
 import numpy as np
 
 from ..errors import ExplorationError
+from ..sched.priorities import get_priority
 
 #: Weight floor keeping the Eq. 1 roulette wheel well defined.
 _WEIGHT_FLOOR = 1e-12
@@ -183,9 +184,9 @@ class ExplorationState:
         # number of child operations; §6 suggests trying mobility/depth,
         # so the function is pluggable.  Values are frozen for the round
         # and normalised to the merit scale so the lambda weight is
-        # comparable across DFG sizes.
-        from ..sched.priorities import get_priority
-
+        # comparable across DFG sizes.  (get_priority is imported at
+        # module level so forked pool workers resolve it during warmup,
+        # not inside the first scheduled iteration.)
         raw = get_priority(priority)(dfg.graph)
         lowest = min(raw.values(), default=0)
         shifted = {uid: raw[uid] - lowest for uid in raw}

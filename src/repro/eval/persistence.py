@@ -58,12 +58,13 @@ class ExplorationCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.stored_bytes = 0
 
     @property
     def stats(self):
         """Hit/miss/store tallies of this cache instance."""
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores}
+                "stores": self.stores, "stored_bytes": self.stored_bytes}
 
     @staticmethod
     def key(**fields):
@@ -118,7 +119,13 @@ class ExplorationCache:
         try:
             with open(scratch, "wb") as handle:
                 pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+            size = os.path.getsize(scratch)
             os.replace(scratch, path)
+            # Sizing signal for the docs' cache-footprint guidance and
+            # the ``cache.disk_bytes`` counter.
+            self.stored_bytes += size
+            if obs:
+                obs.count("cache.disk_bytes", size)
         except OSError:
             # Caching is best-effort: an unwritable directory must not
             # fail the evaluation that produced the payload.

@@ -160,7 +160,12 @@ class EvalContext:
         }
 
     def close(self):
-        """Log a one-line cache summary (idempotent teardown)."""
+        """Log a cache summary and release the worker pool (idempotent).
+
+        Tearing down the persistent :mod:`repro.core.pool` here unlinks
+        its shared-memory segments (broadcast + shared evalcache) — the
+        ``atexit`` hook only backstops contexts that are never closed.
+        """
         if self._closed:
             return
         self._closed = True
@@ -173,6 +178,9 @@ class EvalContext:
         obs = self.obs
         if obs:
             obs.event("eval.cache_summary", **stats)
+        from ..core.pool import shutdown_pools
+
+        shutdown_pools()
 
     def __enter__(self):
         return self

@@ -38,8 +38,11 @@ def summarize_trace(records):
     Keys: ``events`` (total), ``kinds`` (kind → count), ``blocks``
     (per-block base/final cycles), ``rounds`` / ``iterations`` totals,
     ``p_end`` (first/last convergence floor seen), ``cache`` (hit /
-    miss / store counts), ``evaluate`` (last flow.evaluate payload) and
-    ``metrics`` (last registry snapshot, when the trace has one).
+    miss / store counts), ``evaluate`` (last flow.evaluate payload),
+    ``metrics`` (last registry snapshot, when the trace has one) and
+    ``pool`` (the ``pool.*`` counters/gauges of that snapshot — worker
+    pool dispatches, steals, broadcast bytes, occupancy — or ``None``
+    for serial runs).
     """
     kinds = {}
     blocks = []
@@ -79,6 +82,12 @@ def summarize_trace(records):
             evaluate = record
         elif kind == "metrics":
             metrics = record
+    pool = None
+    if metrics is not None:
+        pool = {name: value
+                for source in ("counters", "gauges")
+                for name, value in metrics.get(source, {}).items()
+                if name.startswith("pool.")} or None
     return {
         "events": len(records),
         "kinds": kinds,
@@ -89,6 +98,7 @@ def summarize_trace(records):
         "cache": cache,
         "evaluate": evaluate,
         "metrics": metrics,
+        "pool": pool,
     }
 
 
@@ -118,6 +128,14 @@ def render_summary(summary):
         lines.append("exploration cache: {} hit(s), {} miss(es), "
                      "{} store(s)".format(cache["hit"], cache["miss"],
                                           cache["store"]))
+    pool = summary.get("pool")
+    if pool:
+        lines.append(
+            "worker pool: {} dispatch(es), {} task(s), {} steal(s), "
+            "{} broadcast byte(s)".format(
+                pool.get("pool.dispatches", 0), pool.get("pool.tasks", 0),
+                pool.get("pool.steals", 0),
+                pool.get("pool.broadcast_bytes", 0)))
     evaluate = summary["evaluate"]
     if evaluate is not None:
         lines.append(
