@@ -6,7 +6,11 @@ blocks, parameters and seed as ``test_bench_sched.py``) through
 ``explore_many`` at ``jobs=1,2,4`` and asserts the **serial golden
 digest at every job count** — the pool, its shared-memory broadcast,
 the work-stealing dispatch and the cross-worker shared evalcache must
-all be observationally invisible.
+all be observationally invisible.  The engine runs as shipped — the
+default lockstep ant batch — so the digest is the *batched* golden
+(``test_bench_batch.py``); batching is resolved once at explorer
+construction and rides to the workers inside the pickled explorer,
+which this parity contract exercises.
 
 Timings land in ``BENCH_pool.json``:
 
@@ -33,12 +37,14 @@ import time
 
 from repro.config import ExplorationParams
 from repro.core import parallel
+from repro.core.batch import DEFAULT_BATCH
 from repro.core.exploration import MultiIssueExplorer
 from repro.core.pool import active_pool, shutdown_pools
 from repro.sched.machine import MachineConfig
 
 from conftest import jobs_environment, run_once
-from test_bench_sched import GOLDEN_DIGEST, _hot_dfgs, _signature
+from test_bench_batch import BATCHED_GOLDEN_DIGEST
+from test_bench_sched import _hot_dfgs, _signature
 
 JOB_COUNTS = (1, 2, 4)
 OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
@@ -63,7 +69,8 @@ def test_bench_pool_scaling(benchmark, monkeypatch):
 
     def explore_at(jobs):
         explorer = MultiIssueExplorer(MachineConfig(2, "4/2"),
-                                      params=params, seed=17)
+                                      params=params, seed=17,
+                                      batch=DEFAULT_BATCH)
         start = time.perf_counter()
         results = explorer.explore_many(dfgs, jobs=jobs)
         return results, time.perf_counter() - start
@@ -90,7 +97,7 @@ def test_bench_pool_scaling(benchmark, monkeypatch):
     # Hard contract: the golden bit-parity digest holds at every job
     # count, cold and warm.
     for label, digest in digests.items():
-        assert digest == GOLDEN_DIGEST, \
+        assert digest == BATCHED_GOLDEN_DIGEST, \
             "parity broken at jobs={}".format(label)
 
     serial_s = timings[1]
@@ -121,7 +128,7 @@ def test_bench_pool_scaling(benchmark, monkeypatch):
             "shared_cache_entries": shared_entries,
             "shared_cache_inserts": pool_stats.get("shared_inserts", 0),
         },
-        "golden_digest": GOLDEN_DIGEST,
+        "golden_digest": BATCHED_GOLDEN_DIGEST,
     }
     with open(OUT_PATH, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

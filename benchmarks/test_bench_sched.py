@@ -17,6 +17,12 @@ means something on comparable hardware, so the ≥1.3× gate is asserted
 when ``REPRO_BENCH_STRICT=1`` (reference-host runs) and recorded
 otherwise — container hosts throttle unpredictably and a wall-clock
 gate would flake where a parity gate cannot.
+
+This bench deliberately pins ``batch=1``: it *is* the scalar baseline
+the lockstep batched engine is measured against.  The batched engine
+draws a different RNG stream, carries its own golden digest, and is
+benchmarked (against this bench's scalar rate) in
+``test_bench_batch.py``.
 """
 
 import hashlib
@@ -94,7 +100,8 @@ def test_bench_sched_kernel(benchmark):
         runs = []
         for __ in range(REPEATS):
             explorer = MultiIssueExplorer(MachineConfig(2, "4/2"),
-                                          params=params, seed=17)
+                                          params=params, seed=17,
+                                          batch=1)
             start = time.perf_counter()
             results = explorer.explore_many(dfgs, jobs=1)
             runs.append((time.perf_counter() - start, results, explorer))

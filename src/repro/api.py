@@ -128,8 +128,8 @@ def _resolve_observer(trace, observer):
 
 
 def explore(workload, *, issue=2, ports="4/2", profile="quick", jobs=None,
-            seed=0, trace=None, opt="O3", iterations=None, restarts=None,
-            observer=None):
+            batch=None, seed=0, trace=None, opt="O3", iterations=None,
+            restarts=None, observer=None):
     """Run the full ISE exploration for one workload on one machine.
 
     Parameters (all keyword-only)
@@ -145,6 +145,11 @@ def explore(workload, *, issue=2, ports="4/2", profile="quick", jobs=None,
         Worker processes (``None`` → ``$REPRO_JOBS`` or serial); the
         result is bit-identical at any setting.  Pooled workers persist
         across calls (``REPRO_POOL_PERSIST=0`` opts out).
+    batch:
+        Ants advanced in lockstep per ACO iteration batch (``None`` →
+        ``$REPRO_ANT_BATCH`` or 16).  ``batch=1`` selects the scalar
+        reference loop — bit-identical to the pre-batching engine;
+        larger sizes are faster but draw a different RNG stream.
     seed:
         RNG seed of the ACO colonies.
     trace:
@@ -161,7 +166,8 @@ def explore(workload, *, issue=2, ports="4/2", profile="quick", jobs=None,
     bundle = get_workload(workload)
     program, args = bundle.build()
     params, max_blocks = _resolve_params(profile, iterations, restarts)
-    flow_kwargs = dict(params=params, seed=seed, jobs=jobs, obs=obs)
+    flow_kwargs = dict(params=params, seed=seed, jobs=jobs, batch=batch,
+                       obs=obs)
     if max_blocks is not None:
         flow_kwargs["max_blocks"] = max_blocks
     flow = ISEDesignFlow(MachineConfig(issue, ports), **flow_kwargs)
@@ -182,8 +188,8 @@ def explore(workload, *, issue=2, ports="4/2", profile="quick", jobs=None,
 
 
 def evaluate(source, *, max_area=None, max_ises=None, enable_sharing=True,
-             issue=2, ports="4/2", profile="quick", jobs=None, seed=0,
-             trace=None, opt="O3", iterations=None, restarts=None,
+             issue=2, ports="4/2", profile="quick", jobs=None, batch=None,
+             seed=0, trace=None, opt="O3", iterations=None, restarts=None,
              observer=None):
     """Select ISEs under a budget and report the final metrics.
 
@@ -199,8 +205,8 @@ def evaluate(source, *, max_area=None, max_ises=None, enable_sharing=True,
             result = source
         else:
             result = explore(source, issue=issue, ports=ports,
-                             profile=profile, jobs=jobs, seed=seed,
-                             opt=opt, iterations=iterations,
+                             profile=profile, jobs=jobs, batch=batch,
+                             seed=seed, opt=opt, iterations=iterations,
                              restarts=restarts, observer=obs)
         flow = result.flow
         constraints = ISEConstraints(max_area=max_area, max_ises=max_ises)

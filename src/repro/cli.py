@@ -66,6 +66,12 @@ def _add_effort_args(parser):
                              "persist in a shared-memory pool across "
                              "explorations (REPRO_POOL_PERSIST=0 "
                              "disables reuse)")
+    parser.add_argument("--batch", default=None, metavar="B",
+                        help="ants advanced in lockstep per ACO "
+                             "iteration batch (default: $REPRO_ANT_BATCH "
+                             "or 16); 1 selects the scalar reference "
+                             "loop, larger batches are faster but draw "
+                             "a different RNG stream")
 
 
 def _add_obs_args(parser):
@@ -104,7 +110,8 @@ def _flow_from_args(args):
     params = ExplorationParams(max_iterations=args.iterations,
                                restarts=args.restarts)
     return ISEDesignFlow(machine, params=params, seed=args.seed,
-                         jobs=getattr(args, "jobs", None))
+                         jobs=getattr(args, "jobs", None),
+                         batch=getattr(args, "batch", None))
 
 
 def _cmd_workloads(args):
@@ -126,8 +133,8 @@ def _cmd_explore(args):
         result = api.explore(
             args.workload, issue=args.issue, ports=args.ports,
             profile=None, iterations=args.iterations,
-            restarts=args.restarts, jobs=args.jobs, seed=args.seed,
-            opt=args.opt, observer=observer)
+            restarts=args.restarts, jobs=args.jobs, batch=args.batch,
+            seed=args.seed, opt=args.opt, observer=observer)
         selection = api.evaluate(result, max_area=args.area,
                                  max_ises=args.max_ises,
                                  observer=observer)

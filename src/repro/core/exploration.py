@@ -23,7 +23,9 @@ bit-identical to the serial path.
 """
 
 import random
-from bisect import insort
+from bisect import bisect_left, insort
+
+import numpy as np
 
 from ..config import DEFAULT_CONSTRAINTS, DEFAULT_PARAMS
 from ..errors import ExplorationError
@@ -33,6 +35,7 @@ from ..hwlib.technology import DEFAULT_TECHNOLOGY
 from ..obs import ensure_observer
 from ..sched.list_scheduler import list_schedule
 from ..sched.units import contract_dfg
+from .batch import BatchedAntRunner, effective_batch, resolve_batch
 from .candidate import ISECandidate
 from .contract import contract_candidate
 from .evalcache import EvalCache, evalcache_enabled
@@ -85,7 +88,7 @@ class MultiIssueExplorer:
 
     def __init__(self, machine, params=None, constraints=None,
                  database=None, technology=None, seed=0,
-                 priority="children", jobs=None, obs=None):
+                 priority="children", jobs=None, obs=None, batch=None):
         self.machine = machine
         self.params = params or DEFAULT_PARAMS
         constraints = constraints or DEFAULT_CONSTRAINTS
@@ -105,6 +108,14 @@ class MultiIssueExplorer:
         #: — worker-side calls land in the capture buffer and are
         #: replayed by the parent (see :mod:`repro.core.parallel`).
         self.obs = ensure_observer(obs)
+        #: Ants advanced in lockstep per iteration batch (``None`` →
+        #: ``$REPRO_ANT_BATCH`` or 16).  ``1`` selects the scalar round
+        #: loop — the bit-exact parity escape hatch; larger sizes draw
+        #: in (step, ant) order and fold one trail/merit update over
+        #: each batch, so their RNG stream (and golden digest) differs
+        #: from the scalar path's.  Resolved once here so pool workers
+        #: unpickle a fixed integer.
+        self.batch = resolve_batch(batch, obs=self.obs)
         #: Memo of deterministic candidate evaluations, shared across
         #: rounds, restarts and blocks (``REPRO_EVALCACHE=0`` disables).
         #: Pool workers receive it inside the pickled explorer as a
@@ -286,6 +297,8 @@ class MultiIssueExplorer:
 
     def _run_round(self, dfg, io_tables, rng, tag=("", "", 0),
                    round_index=0):
+        """One round: scalar loop, or lockstep batches when
+        ``self.batch`` > 1 (see :meth:`_run_round_batched`)."""
         obs = self.obs
         function, label, restart = tag
         state = ExplorationState(dfg, io_tables, self.params,
@@ -297,6 +310,18 @@ class MultiIssueExplorer:
                           iterations=0, converged=False, proposals=0,
                           tet_best=None)
             return _RoundResult([], 0)
+        batch = effective_batch(self.batch, len(dfg.nodes))
+        if batch > 1:
+            return self._run_round_batched(dfg, state, rng, batch,
+                                           tag=tag, round_index=round_index)
+        return self._run_round_scalar(dfg, state, rng, tag=tag,
+                                      round_index=round_index)
+
+    def _run_round_scalar(self, dfg, state, rng, tag=("", "", 0),
+                          round_index=0):
+        """The reference one-ant-at-a-time loop (``batch=1``)."""
+        obs = self.obs
+        function, label, restart = tag
         tet_old = None
         prev_order = {}
         best_schedule = None
@@ -310,10 +335,7 @@ class MultiIssueExplorer:
             tet_old = update_trails(state, schedule, prev_order, tet_old)
             prev_order = dict(schedule.order)
             update_merits(dfg, state, schedule, self.constraints)
-            key = (schedule.makespan,
-                   sum(opt.area
-                       for c in schedule.clusters
-                       for opt in c.option_of.values()))
+            key = _schedule_key(schedule)
             if best_key is None or key < best_key:
                 best_key = key
                 best_schedule = schedule
@@ -334,10 +356,92 @@ class MultiIssueExplorer:
                           schedule.table.stat_scan_cycles)
             if converged:
                 break
-        # Candidates from the converged choice AND from the best
-        # iteration seen: the colony's converged state occasionally
-        # drifts off the best schedule it constructed, so both sources
-        # are proposed and the caller keeps whichever evaluates better.
+        proposals = self._collect_proposals(dfg, state, best_schedule)
+        self._emit_round_obs(state, tag, round_index, iterations,
+                             proposals, trace)
+        return _RoundResult(proposals, iterations, trace)
+
+    def _run_round_batched(self, dfg, state, rng, batch,
+                           tag=("", "", 0), round_index=0):
+        """Lockstep-batched round: ``batch`` ants per trail update.
+
+        Every batch draws against the same frozen trail/merit state
+        (exactly what the scalar loop sees *within* one iteration) via
+        the vectorised :class:`~repro.core.batch.BatchedAntRunner`;
+        afterwards one Fig. 4.3.5 trail update and one merit sweep are
+        folded over the batch, driven by the batch's best schedule
+        (iteration-best update — the batched counterpart of the scalar
+        per-ant update, with a ``batch``-fold cheaper maintenance
+        cost).  Each ant still counts as one iteration in traces,
+        budgets and observability events.
+        """
+        obs = self.obs
+        function, label, restart = tag
+        runner = BatchedAntRunner(dfg, state, self.machine,
+                                  self.technology, self.constraints)
+        tet_old = None
+        prev_order = {}
+        best_schedule = None
+        best_key = None
+        iterations = 0
+        trace = []
+        budget = self.params.max_iterations
+        converged = False
+        while iterations < budget and not converged:
+            schedules = runner.run(rng, min(batch, budget - iterations))
+            batch_best = None
+            batch_key = None
+            for schedule in schedules:
+                iterations += 1
+                trace.append(schedule.makespan)
+                key = _schedule_key(schedule)
+                if batch_key is None or key < batch_key:
+                    batch_key = key
+                    batch_best = schedule
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_schedule = schedule
+            tet_old = update_trails(state, batch_best, prev_order, tet_old)
+            prev_order = dict(batch_best.order)
+            update_merits(dfg, state, batch_best, self.constraints)
+            converged = state.converged()
+            if obs:
+                floor = state.convergence_floor()
+                base = iterations - len(schedules)
+                for index, schedule in enumerate(schedules):
+                    obs.event("iteration", function=function, label=label,
+                              restart=restart, round=round_index,
+                              iteration=base + index,
+                              tet=schedule.makespan,
+                              min_sp=floor,
+                              clusters=len(schedule.clusters))
+                    obs.count("iter.cluster_opens",
+                              schedule.stat_cluster_opens)
+                    obs.count("iter.cluster_joins",
+                              schedule.stat_cluster_joins)
+                    obs.count("iter.join_rejects",
+                              schedule.stat_join_rejects)
+                    obs.count("sched.first_fit_scans",
+                              schedule.table.stat_first_fit_scans)
+                    obs.count("sched.scan_cycles",
+                              schedule.table.stat_scan_cycles)
+        proposals = self._collect_proposals(dfg, state, best_schedule)
+        if obs:
+            obs.count("batch.ants_batched", runner.stat_ants_batched)
+            obs.count("batch.scalar_fallbacks",
+                      runner.stat_scalar_fallbacks)
+            obs.count("batch.rows_vectorized",
+                      runner.stat_rows_vectorized)
+        self._emit_round_obs(state, tag, round_index, iterations,
+                             proposals, trace)
+        return _RoundResult(proposals, iterations, trace)
+
+    def _collect_proposals(self, dfg, state, best_schedule):
+        """Candidates from the converged choice AND from the best
+        iteration seen: the colony's converged state occasionally
+        drifts off the best schedule it constructed, so both sources
+        are proposed and the caller keeps whichever evaluates better.
+        """
         proposals = []
         seen = set()
         for chosen_hw, option_of in self._candidate_sources(
@@ -349,22 +453,28 @@ class MultiIssueExplorer:
                 seen.add(members)
                 proposals.append(
                     (members, {uid: option_of[uid] for uid in members}))
-        if obs:
-            obs.event("round", function=function, label=label,
-                      restart=restart, round=round_index,
-                      iterations=iterations, converged=state.converged(),
-                      proposals=len(proposals),
-                      tet_best=min(trace) if trace else None)
-            obs.count("explore.rounds")
-            obs.count("explore.iterations", iterations)
-            obs.count("state.weight_row_rebuilds",
-                      state.stats["weight_rebuilds"])
-            obs.count("state.convergence_refreshes",
-                      state.stats["conv_refreshes"])
-            memo = state.round_memo
-            obs.count("grouping.memo_hits", getattr(memo, "hits", 0))
-            obs.count("grouping.memo_misses", getattr(memo, "misses", 0))
-        return _RoundResult(proposals, iterations, trace)
+        return proposals
+
+    def _emit_round_obs(self, state, tag, round_index, iterations,
+                        proposals, trace):
+        obs = self.obs
+        if not obs:
+            return
+        function, label, restart = tag
+        obs.event("round", function=function, label=label,
+                  restart=restart, round=round_index,
+                  iterations=iterations, converged=state.converged(),
+                  proposals=len(proposals),
+                  tet_best=min(trace) if trace else None)
+        obs.count("explore.rounds")
+        obs.count("explore.iterations", iterations)
+        obs.count("state.weight_row_rebuilds",
+                  state.stats["weight_rebuilds"])
+        obs.count("state.convergence_refreshes",
+                  state.stats["conv_refreshes"])
+        memo = state.round_memo
+        obs.count("grouping.memo_hits", getattr(memo, "hits", 0))
+        obs.count("grouping.memo_misses", getattr(memo, "misses", 0))
 
     def _candidate_sources(self, dfg, state, best_schedule):
         sources = [(self._final_hardware_set(dfg, state, best_schedule),
@@ -434,7 +544,7 @@ class MultiIssueExplorer:
                 schedule.schedule_hardware(uid, option)
             else:
                 schedule.schedule_software(uid, option)
-            ready.remove(uid)
+            del ready[bisect_left(ready, uid)]
             remaining -= 1
             for succ in dfg.successors(uid):
                 remaining_preds[succ] -= 1
@@ -485,8 +595,22 @@ class _RoundResult:
         self.trace = list(trace)
 
 
+def _schedule_key(schedule):
+    """Preference key over iteration schedules: lower makespan first,
+    total ISE area of the clustered options as the tie-break."""
+    return (schedule.makespan,
+            sum(opt.area
+                for c in schedule.clusters
+                for opt in c.option_of.values()))
+
+
 def _roulette(entries, rng):
     """Draw one entry proportionally to its weight.
+
+    The accumulate-and-compare loop is a ``np.cumsum`` plus a
+    ``searchsorted`` for the first cumulative weight reaching the
+    scaled draw — the additions happen in the same order as the old
+    Python loop, so the chosen entry is bit-identical.
 
     Degenerate case: when the weights sum to zero (all-zero rows, or a
     sum that underflowed), every entry is equally (un)weighted, so the
@@ -494,14 +618,13 @@ def _roulette(entries, rng):
     first entry.  Exactly one ``rng.random()`` is consumed on every
     path, so the fallback never shifts the RNG stream of later draws.
     """
-    total = sum(weight for __, weight in entries)
+    cum = np.cumsum(np.fromiter((weight for __, weight in entries),
+                                dtype=np.float64, count=len(entries)))
+    total = cum[-1]
     draw = rng.random()
     if total <= 0.0:
         return entries[min(int(draw * len(entries)), len(entries) - 1)][0]
-    pick = draw * total
-    acc = 0.0
-    for value, weight in entries:
-        acc += weight
-        if pick <= acc:
-            return value
-    return entries[-1][0]
+    index = int(np.searchsorted(cum, draw * total))
+    if index >= len(entries):
+        index = len(entries) - 1          # floating-point overshoot
+    return entries[index][0]

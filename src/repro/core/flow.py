@@ -142,7 +142,7 @@ class ISEDesignFlow:
     def __init__(self, machine, params=None, constraints=None,
                  technology=None, seed=0, priority="children",
                  coverage=0.95, max_blocks=8, max_dfg_nodes=220,
-                 explorer_factory=None, jobs=None, obs=None):
+                 explorer_factory=None, jobs=None, batch=None, obs=None):
         if isinstance(constraints, int) and not isinstance(constraints,
                                                            bool):
             # Legacy positional call pattern ISEDesignFlow(machine,
@@ -169,6 +169,10 @@ class ISEDesignFlow:
         self.max_blocks = max_blocks
         self.max_dfg_nodes = max_dfg_nodes
         self.jobs = jobs
+        #: Ants per lockstep batch inside each exploration round
+        #: (``None`` → ``$REPRO_ANT_BATCH`` → 16); resolved by the
+        #: explorer, ``1`` forces the scalar reference loop.
+        self.batch = batch
         #: Observability context threaded through the whole flow
         #: (explorer, parallel fan-out, evaluation); the falsy
         #: NULL_OBSERVER by default.
@@ -178,7 +182,7 @@ class ISEDesignFlow:
                 flow.machine, params=flow.params,
                 constraints=flow.constraints,
                 technology=flow.technology, seed=flow.seed,
-                priority=flow.priority, obs=flow.obs)
+                priority=flow.priority, batch=flow.batch, obs=flow.obs)
         self._explorer_factory = explorer_factory
 
     # -- stage 1: profile + lower ------------------------------------------

@@ -129,11 +129,25 @@ class IterationSchedule:
 
     def schedule_software(self, uid, option):
         """Place ``uid`` with a software option (Fig. 4.3.3)."""
-        operation = self.dfg.op(uid)
-        needs = Needs(reads=len(operation.sources),
-                      writes=len(operation.dests),
-                      fu_kind=option.fu_kind)
+        needs = self.software_needs(uid, option)
         cycle = self.table.first_fit(needs, not_before=self.data_ready(uid))
+        self.place_software(uid, option, needs, cycle)
+
+    def software_needs(self, uid, option):
+        """Resource demand of placing ``uid`` with a software option.
+
+        Split out of :meth:`schedule_software` so the batched runner
+        can stage the first-fit probes of a whole lockstep step and
+        resolve them in one vectorised scan
+        (:func:`~repro.sched.resources.first_fit_batch`).
+        """
+        operation = self.dfg.op(uid)
+        return Needs(reads=len(operation.sources),
+                     writes=len(operation.dests),
+                     fu_kind=option.fu_kind)
+
+    def place_software(self, uid, option, needs, cycle):
+        """Commit a software placement whose first-fit cycle is known."""
         self.table.place(cycle, needs)
         self._commit(uid, option, cycle)
 
@@ -173,9 +187,12 @@ class IterationSchedule:
                 continue
             if self.finish(pred) > cluster.start:
                 return False
-        io_delta = cluster.io.preview_add(uid)
+        io_delta = cluster.io.preview_add(uid,
+                                          n_in_limit=self.constraints.n_in)
+        if io_delta is None:
+            return False
         n_in, n_out = io_delta.n_in, io_delta.n_out
-        if n_in > self.constraints.n_in or n_out > self.constraints.n_out:
+        if n_out > self.constraints.n_out:
             return False
         arrival = None
         if io_delta.succ_members:
@@ -220,11 +237,21 @@ class IterationSchedule:
         return True
 
     def _open_cluster(self, uid, option):
-        self.stat_cluster_opens += 1
+        io, needs = self.open_needs(uid)
+        cycle = self.table.first_fit(needs, not_before=self.data_ready(uid))
+        self.place_cluster(uid, option, io, needs, cycle)
+
+    def open_needs(self, uid):
+        """I/O tracker and resource demand of opening a cluster at
+        ``uid`` — the probe half of :meth:`_open_cluster`, batched
+        across ants by the lockstep runner."""
         io = SubgraphIOTracker(self.dfg)
         io.add(uid)
-        needs = Needs(reads=io.n_in, writes=io.n_out, fu_kind="asfu")
-        cycle = self.table.first_fit(needs, not_before=self.data_ready(uid))
+        return io, Needs(reads=io.n_in, writes=io.n_out, fu_kind="asfu")
+
+    def place_cluster(self, uid, option, io, needs, cycle):
+        """Open a singleton cluster at a known first-fit cycle."""
+        self.stat_cluster_opens += 1
         self.table.place(cycle, needs)
         cluster = Cluster(self._next_cluster, cycle)
         self._next_cluster += 1
@@ -292,15 +319,21 @@ class IterationSchedule:
 
     def verify(self):
         """Sanity-check dependences of the (possibly partial) schedule."""
+        start = self.start
+        chosen = self.chosen
+        cluster_of = self.cluster_of
         for src, dst in self.dfg.edge_pairs():
-            if src not in self.start or dst not in self.start:
+            dst_start = start.get(dst)
+            if dst_start is None or src not in start:
                 continue
-            same_cluster = (self.cluster_of.get(src) is not None
-                            and self.cluster_of.get(src)
-                            is self.cluster_of.get(dst))
-            if same_cluster:
-                continue
-            if self.start[dst] < self.finish(src):
+            src_cluster = cluster_of.get(src)
+            if src_cluster is not None:
+                if src_cluster is cluster_of.get(dst):
+                    continue
+                src_finish = src_cluster.start + src_cluster.cycles
+            else:
+                src_finish = start[src] + chosen[src].cycles
+            if dst_start < src_finish:
                 raise SchedulingError(
                     "iteration schedule violates edge {}->{}".format(src, dst))
         return self

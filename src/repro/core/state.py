@@ -251,6 +251,38 @@ class ExplorationState:
             entries.extend(rows[uid])
         return entries
 
+    def cp_weights_batch(self, slot_ready=None):
+        """Eq. 1 weight vector over every flat (op, option) slot.
+
+        One vectorised pass over the flat trail/merit/SP arrays — the
+        exact expression :meth:`cp_weights` evaluates per row, so the
+        returned doubles are bit-identical to the scalar entries.  The
+        state only changes *between* iterations, so one call serves
+        every ant of a lockstep batch
+        (:class:`~repro.core.batch.BatchedAntRunner`); with a
+        ``(B, n_slots)`` boolean ``slot_ready`` mask the per-ant masked
+        weight matrix is returned instead (unready slots weigh zero).
+        """
+        self.stats["weight_rebuilds"] += 1    # one full-vector rebuild
+        params = self.params
+        weights = (params.alpha * self._trail_vec
+                   + (1.0 - params.alpha) * self._merit_vec
+                   + params.lam * self._sp_vec)
+        np.maximum(weights, _WEIGHT_FLOOR, out=weights)
+        if slot_ready is None:
+            return weights
+        return weights * slot_ready
+
+    def slot_pairs(self):
+        """The ``(uid, option)`` pair of every flat slot, in slot order.
+
+        The batched runner's slot → draw-outcome map; slot order is the
+        storage order of the trail/merit vectors (operations in
+        ``dfg.nodes`` order, options in table order).
+        """
+        return [(uid, self._option_map[(uid, label)])
+                for uid, label in self._flat_keys]
+
     def _cp_rows(self):
         """Per-uid Eq. 1 weight rows, refreshed for dirty uids only."""
         if self._weight_dirty:

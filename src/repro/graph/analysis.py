@@ -118,8 +118,14 @@ class SubgraphIOTracker:
         return any(succ != added and succ not in members
                    for succ in dfg.data_successors(uid))
 
-    def preview_add(self, uid):
-        """Sizes of IN/OUT after adding ``uid``, without committing."""
+    def preview_add(self, uid, n_in_limit=None):
+        """Sizes of IN/OUT after adding ``uid``, without committing.
+
+        ``n_in_limit`` enables the caller's own reject test to run
+        early: when the grown ``IN`` size already exceeds it, the
+        (costlier) ``OUT`` half is skipped and ``None`` is returned —
+        join probes are mostly rejected, and mostly on ``IN``.
+        """
         dfg = self.dfg
         members = self.members
         edges = dfg.graph.edges
@@ -146,6 +152,8 @@ class SubgraphIOTracker:
                 n_in -= 1
             elif old <= 0 and new > 0:
                 n_in += 1
+        if n_in_limit is not None and n_in > n_in_limit:
+            return None
         # OUT: uid may escape; member data-predecessors of uid may stop
         # escaping (uid was their last outside consumer).
         delta_out = {}
@@ -197,6 +205,24 @@ class SubgraphIOTracker:
         delta = self.preview_add(uid)
         self.commit(delta)
         return delta
+
+    def clone(self):
+        """Independent copy sharing only the (immutable) DFG.
+
+        The batched ant runner opens every singleton cluster from a
+        per-operation template tracker: one :meth:`add` walk at set-up,
+        then a cheap state copy per actual open instead of re-walking
+        the operation's edges for every ant.
+        """
+        other = SubgraphIOTracker.__new__(SubgraphIOTracker)
+        other.dfg = self.dfg
+        other.members = set(self.members)
+        other._in_count = dict(self._in_count)
+        other._out_count = dict(self._out_count)
+        other._escaping = set(self._escaping)
+        other.n_in = self.n_in
+        other.n_out = self.n_out
+        return other
 
 
 def is_convex(dfg, members):

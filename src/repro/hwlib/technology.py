@@ -23,7 +23,7 @@ class Technology:
         database are already in µm² at this node).
     """
 
-    __slots__ = ("clock_mhz", "node_um")
+    __slots__ = ("clock_mhz", "node_um", "_cycles_cache")
 
     def __init__(self, clock_mhz=100.0, node_um=0.13):
         if clock_mhz <= 0:
@@ -32,6 +32,10 @@ class Technology:
             raise ConfigError("process node must be positive")
         self.clock_mhz = float(clock_mhz)
         self.node_um = float(node_um)
+        # Delay→cycles memo: the option database yields a small set of
+        # distinct delays, but the schedulers quantise them millions of
+        # times per exploration.
+        self._cycles_cache = {}
 
     @property
     def cycle_ns(self):
@@ -44,9 +48,15 @@ class Technology:
         A zero (or negative) delay still costs one issue slot, hence the
         floor of one cycle.
         """
-        if delay_ns <= 0:
-            return 1
-        return max(1, int(math.ceil(delay_ns / self.cycle_ns - 1e-9)))
+        cycles = self._cycles_cache.get(delay_ns)
+        if cycles is None:
+            if delay_ns <= 0:
+                cycles = 1
+            else:
+                cycles = max(1, int(math.ceil(
+                    delay_ns / self.cycle_ns - 1e-9)))
+            self._cycles_cache[delay_ns] = cycles
+        return cycles
 
     def __repr__(self):
         return "Technology({} MHz, {} um)".format(self.clock_mhz, self.node_um)

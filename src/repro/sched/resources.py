@@ -224,6 +224,23 @@ class ReservationTable:
             return start + index
         return -1
 
+    def _budget_of(self, needs):
+        """(row, demand, budget) triples of a demand, or ``None`` when
+        the demand can never fit this machine."""
+        if (needs.issue > self._issue_width
+                or needs.reads > self._read_ports
+                or needs.writes > self._write_ports
+                or needs.fu_count > self._fu_avail.get(needs.fu_kind, 0)):
+            return None
+        triples = [(_ISSUE, needs.issue, self._issue_width),
+                   (_READS, needs.reads, self._read_ports),
+                   (_WRITES, needs.writes, self._write_ports)]
+        row = self._fu_row.get(needs.fu_kind)
+        if row is not None:
+            triples.append((row, needs.fu_count,
+                            self._fu_avail[needs.fu_kind]))
+        return triples
+
     # -- pickling (memoryviews do not pickle) -------------------------------
 
     def __getstate__(self):
@@ -260,3 +277,83 @@ class ReservationTable:
                 "negative reservation at cycle(s) {} — release without "
                 "matching place".format(sorted(set(int(c) for c in cycles))))
         return True
+
+
+#: Probe count below which the scalar fits-at-start loop beats the
+#: stacked-tensor scan (dominated by its per-probe set-up copies).
+#: Benchmarked on the BENCH_sched workloads: the scalar loop wins for
+#: every lockstep width up to the default batch of 16.
+_TENSOR_CUTOVER = 24
+
+
+def first_fit_batch(tables, needs_list, not_befores):
+    """Earliest-fit cycle for one ``(table, needs, not_before)`` probe
+    per entry, resolved in a single vectorised pass.
+
+    The batched ant runner stages the independent first-fit probes of a
+    lockstep step (each ant owns its own table) and scans them all at
+    once: the occupied prefixes are stacked into one ``(K, rows, H)``
+    tensor — columns beyond a table's high-water mark are zero, exactly
+    what an untouched cycle looks like — and feasibility is one
+    boolean reduction.  Per-probe results are identical to calling
+    :meth:`ReservationTable.first_fit` table by table, including the
+    known-empty fast path and the ``hi`` fallback; infeasible demands
+    raise the same :class:`~repro.errors.SchedulingError`.  Small
+    batches skip the stacking and loop the scalar method instead: its
+    fits-at-start fast path beats the tensor set-up cost until well
+    past the default lockstep width (measured cutover above).
+    """
+    count = len(tables)
+    if count != len(needs_list) or count != len(not_befores):
+        raise SchedulingError("mismatched first_fit_batch arguments")
+    if count <= _TENSOR_CUTOVER:
+        return [table.first_fit(needs, not_before=not_before)
+                for table, needs, not_before
+                in zip(tables, needs_list, not_befores)]
+    budgets = []
+    for table, needs in zip(tables, needs_list):
+        triples = table._budget_of(needs)
+        if triples is None:
+            raise SchedulingError(
+                "no feasible cycle below horizon: {} exceeds the machine "
+                "budget".format(needs))
+        budgets.append(triples)
+    cycles = [0] * count
+    scan = []                     # probes that must look at occupancy
+    for probe, (table, not_before) in enumerate(zip(tables, not_befores)):
+        table.stat_first_fit_scans += 1
+        start = max(0, int(not_before))
+        if start >= table._hi:
+            cycles[probe] = start     # known-empty region
+        else:
+            scan.append(probe)
+    if not scan:
+        return cycles
+    width = max(tables[probe]._hi for probe in scan)
+    rows = tables[scan[0]]._use.shape[0]
+    stack = np.zeros((len(scan), rows, width), dtype=np.int32)
+    demand = np.zeros((len(scan), rows), dtype=np.int32)
+    budget = np.zeros((len(scan), rows), dtype=np.int32)
+    budget[:, :] = np.iinfo(np.int32).max
+    starts = np.empty(len(scan), dtype=np.intp)
+    for index, probe in enumerate(scan):
+        table = tables[probe]
+        hi = table._hi
+        stack[index, :, :hi] = table._use[:, :hi]
+        for row, need, cap in budgets[probe]:
+            demand[index, row] = need
+            budget[index, row] = cap
+        starts[index] = max(0, int(not_befores[probe]))
+        table.stat_scan_cycles += hi - starts[index]
+    feasible = ((stack + demand[:, :, None] <= budget[:, :, None])
+                .all(axis=1))
+    feasible &= np.arange(width)[None, :] >= starts[:, None]
+    first = feasible.argmax(axis=1)
+    found = feasible[np.arange(len(scan)), first]
+    for index, probe in enumerate(scan):
+        # No fit inside the stacked window only happens when this
+        # table's occupancy spans the whole window; the scalar path
+        # then falls through to its known-empty high-water mark.
+        cycles[probe] = int(first[index]) if found[index] \
+            else tables[probe]._hi
+    return cycles
