@@ -47,11 +47,13 @@ from .obs import (
     Observer,
     ProgressSink,
 )
+from . import engines
 from .api import (
     ExploreResult,
     SelectionResult,
     evaluate,
     explore,
+    list_engines,
     shutdown_pools,
 )
 
@@ -82,9 +84,11 @@ __all__ = [
     "SingleIssueExplorer",
     "Technology",
     "all_workloads",
+    "engines",
     "evaluate",
     "explore",
     "get_workload",
+    "list_engines",
     "paper_machines",
     "shutdown_pools",
     "workload_names",

@@ -32,6 +32,7 @@ Quickstart::
 
 from dataclasses import dataclass, field
 
+from . import engines
 from .config import ExplorationParams, ISEConstraints
 from .core.flow import ISEDesignFlow
 from .core.pool import shutdown_pools  # re-export: public teardown  # noqa: F401
@@ -54,6 +55,7 @@ class ExploreResult:
     seed: int
     baseline_cycles: int
     candidates: tuple          # human-readable candidate descriptions
+    engine: str = "aco"        # registry name of the engine that ran
     trace_path: str = None
     metrics: dict = field(default=None, compare=False, repr=False)
     # Engine handles, deliberately excluded from equality/repr: they
@@ -127,9 +129,20 @@ def _resolve_observer(trace, observer):
     return NULL_OBSERVER, False
 
 
+def list_engines():
+    """``(name, description)`` pairs of every registered engine.
+
+    The names are valid ``engine=`` arguments to :func:`explore` and
+    :class:`~repro.core.flow.ISEDesignFlow` (and ``--engine`` on the
+    CLI); see :mod:`repro.engines` for the registration hooks.
+    """
+    return tuple((name, engines.describe(name))
+                 for name in engines.available())
+
+
 def explore(workload, *, issue=2, ports="4/2", profile="quick", jobs=None,
             batch=None, seed=0, trace=None, opt="O3", iterations=None,
-            restarts=None, observer=None):
+            restarts=None, observer=None, engine="aco"):
     """Run the full ISE exploration for one workload on one machine.
 
     Parameters (all keyword-only)
@@ -141,6 +154,11 @@ def explore(workload, *, issue=2, ports="4/2", profile="quick", jobs=None,
     profile:
         Effort profile (``quick`` / ``normal`` / ``full``), or ``None``
         for the library's §5.1 defaults.
+    engine:
+        Registry name of the exploration engine (``"aco"`` — the
+        paper's algorithm — by default; see :func:`list_engines` or
+        ``repro engines``).  Unknown names raise
+        :class:`~repro.errors.ReproError` listing the valid set.
     jobs:
         Worker processes (``None`` → ``$REPRO_JOBS`` or serial); the
         result is bit-identical at any setting.  Pooled workers persist
@@ -167,7 +185,7 @@ def explore(workload, *, issue=2, ports="4/2", profile="quick", jobs=None,
     program, args = bundle.build()
     params, max_blocks = _resolve_params(profile, iterations, restarts)
     flow_kwargs = dict(params=params, seed=seed, jobs=jobs, batch=batch,
-                       obs=obs)
+                       obs=obs, engine=engine)
     if max_blocks is not None:
         flow_kwargs["max_blocks"] = max_blocks
     flow = ISEDesignFlow(MachineConfig(issue, ports), **flow_kwargs)
@@ -184,13 +202,14 @@ def explore(workload, *, issue=2, ports="4/2", profile="quick", jobs=None,
         profile=profile, seed=seed,
         baseline_cycles=explored.baseline_cycles,
         candidates=tuple(c.describe() for c in explored.candidates),
-        trace_path=trace, metrics=metrics, explored=explored, flow=flow)
+        engine=engine, trace_path=trace, metrics=metrics,
+        explored=explored, flow=flow)
 
 
 def evaluate(source, *, max_area=None, max_ises=None, enable_sharing=True,
              issue=2, ports="4/2", profile="quick", jobs=None, batch=None,
              seed=0, trace=None, opt="O3", iterations=None, restarts=None,
-             observer=None):
+             observer=None, engine="aco"):
     """Select ISEs under a budget and report the final metrics.
 
     ``source`` is either an :class:`ExploreResult` (the exploration is
@@ -207,7 +226,8 @@ def evaluate(source, *, max_area=None, max_ises=None, enable_sharing=True,
             result = explore(source, issue=issue, ports=ports,
                              profile=profile, jobs=jobs, batch=batch,
                              seed=seed, opt=opt, iterations=iterations,
-                             restarts=restarts, observer=obs)
+                             restarts=restarts, observer=obs,
+                             engine=engine)
         flow = result.flow
         constraints = ISEConstraints(max_area=max_area, max_ises=max_ises)
         saved_obs = flow.obs

@@ -21,7 +21,7 @@ on a 2-issue processor" comparison of §1.4.
 """
 
 from ..config import DEFAULT_PARAMS
-from ..core.exploration import MultiIssueExplorer
+from ..engines.aco import AcoEngine
 from ..sched.machine import MachineConfig
 
 
@@ -40,7 +40,7 @@ class SingleIssueExplorer:
             1, machine.register_file,
             fu_counts={"alu": 1, "mul": 1, "mem": 1, "branch": 1, "asfu": 1},
             technology=machine.technology)
-        self._inner = MultiIssueExplorer(
+        self._inner = AcoEngine(
             single_issue, params=blind_params, constraints=constraints,
             database=database, technology=technology, seed=seed)
 

@@ -4,6 +4,8 @@ Commands
 --------
 ``workloads``
     List the bundled benchmarks.
+``engines``
+    List the registered exploration engines (valid ``--engine`` names).
 ``explore``
     Run the full design flow for one workload on one machine and print
     the report plus the selected ISEs.
@@ -72,6 +74,10 @@ def _add_effort_args(parser):
                              "or 16); 1 selects the scalar reference "
                              "loop, larger batches are faster but draw "
                              "a different RNG stream")
+    parser.add_argument("--engine", default="aco", metavar="NAME",
+                        help="exploration engine (default aco, the "
+                             "paper's algorithm; see 'repro engines' "
+                             "for the registry)")
 
 
 def _add_obs_args(parser):
@@ -111,7 +117,8 @@ def _flow_from_args(args):
                                restarts=args.restarts)
     return ISEDesignFlow(machine, params=params, seed=args.seed,
                          jobs=getattr(args, "jobs", None),
-                         batch=getattr(args, "batch", None))
+                         batch=getattr(args, "batch", None),
+                         engine=getattr(args, "engine", "aco"))
 
 
 def _cmd_workloads(args):
@@ -127,6 +134,13 @@ def _cmd_table(args):
     return 0
 
 
+def _cmd_engines(args):
+    del args
+    for name, description in api.list_engines():
+        print("{:10s} {}".format(name, description))
+    return 0
+
+
 def _cmd_explore(args):
     observer = _observer_from_args(args)
     try:
@@ -134,12 +148,14 @@ def _cmd_explore(args):
             args.workload, issue=args.issue, ports=args.ports,
             profile=None, iterations=args.iterations,
             restarts=args.restarts, jobs=args.jobs, batch=args.batch,
-            seed=args.seed, opt=args.opt, observer=observer)
+            seed=args.seed, opt=args.opt, observer=observer,
+            engine=args.engine)
         selection = api.evaluate(result, max_area=args.area,
                                  max_ises=args.max_ises,
                                  observer=observer)
         print("workload : {} ({})".format(result.workload, args.opt))
         print("machine  : {}-issue, RF {}".format(args.issue, args.ports))
+        print("engine   : {}".format(result.engine))
         print("baseline : {} cycles".format(selection.baseline_cycles))
         print("with ISE : {} cycles".format(selection.final_cycles))
         print("reduction: {:.2%}".format(selection.reduction))
@@ -179,6 +195,19 @@ def _cmd_selftest(args):
                 print("{:10s} {}: {}".format(
                     workload.name, level, "ok" if ok else
                     "FAIL ({:#x} != {:#x})".format(result, expected)))
+        if getattr(args, "engine", None):
+            # Exploration smoke: the named engine must run end-to-end
+            # on one small workload and return a coherent result.
+            result = api.explore("crc32", profile=None, iterations=10,
+                                 restarts=1, seed=0, observer=observer,
+                                 engine=args.engine)
+            ok = (result.engine == args.engine
+                  and result.baseline_cycles > 0)
+            failures += 0 if ok else 1
+            print("{:10s} engine={}: {}".format(
+                "explore", args.engine,
+                "ok ({} candidates)".format(result.num_candidates)
+                if ok else "FAIL"))
         if observer:
             observer.gauge("selftest.failures_total", failures)
     finally:
@@ -274,8 +303,16 @@ def build_parser():
     selftest = sub.add_parser(
         "selftest",
         help="check every workload against its reference at O0/O3")
+    selftest.add_argument("--engine", default=None, metavar="NAME",
+                          help="additionally smoke-test this "
+                               "exploration engine on crc32")
     _add_obs_args(selftest)
     selftest.set_defaults(func=_cmd_selftest)
+
+    sub.add_parser(
+        "engines",
+        help="list registered exploration engines (--engine names)") \
+        .set_defaults(func=_cmd_engines)
 
     explore = sub.add_parser("explore", help="run the design flow")
     explore.add_argument("workload")

@@ -21,7 +21,7 @@ from ..ir.passes.pipeline import optimize
 from ..obs import ensure_observer
 from ..sched.list_scheduler import list_schedule
 from ..sched.units import contract_dfg
-from .exploration import MultiIssueExplorer
+from .. import engines
 from .merging import merge_candidates
 from .parallel import parallel_map, resolve_jobs
 from .replacement import replace_and_schedule
@@ -31,6 +31,20 @@ from .selection import select_ises
 def _explore_block_task(explorer, dfg):
     """Module-level worker: explore one block DFG (picklable)."""
     return explorer.explore(dfg)
+
+
+def _default_engine_factory(flow):
+    """Build the flow's engine from the registry (``flow.engine``).
+
+    Module-level (not a lambda) so a flow object with the default
+    factory stays picklable; the engine instance it returns rides into
+    pool workers exactly like the resolved ``batch`` does.
+    """
+    return engines.create(
+        flow.engine, flow.machine, params=flow.params,
+        constraints=flow.constraints, technology=flow.technology,
+        seed=flow.seed, priority=flow.priority, batch=flow.batch,
+        obs=flow.obs)
 
 
 class BlockInstance:
@@ -142,7 +156,8 @@ class ISEDesignFlow:
     def __init__(self, machine, params=None, constraints=None,
                  technology=None, seed=0, priority="children",
                  coverage=0.95, max_blocks=8, max_dfg_nodes=220,
-                 explorer_factory=None, jobs=None, batch=None, obs=None):
+                 explorer_factory=None, jobs=None, batch=None, obs=None,
+                 *, engine="aco"):
         if isinstance(constraints, int) and not isinstance(constraints,
                                                            bool):
             # Legacy positional call pattern ISEDesignFlow(machine,
@@ -177,12 +192,13 @@ class ISEDesignFlow:
         #: (explorer, parallel fan-out, evaluation); the falsy
         #: NULL_OBSERVER by default.
         self.obs = ensure_observer(obs)
+        #: Registry name of the exploration engine (``repro engines``
+        #: lists the choices).  Validated here so a typo fails at
+        #: construction, not deep inside ``explore_application``.
+        engines.describe(engine)
+        self.engine = engine
         if explorer_factory is None:
-            explorer_factory = lambda flow: MultiIssueExplorer(
-                flow.machine, params=flow.params,
-                constraints=flow.constraints,
-                technology=flow.technology, seed=flow.seed,
-                priority=flow.priority, batch=flow.batch, obs=flow.obs)
+            explorer_factory = _default_engine_factory
         self._explorer_factory = explorer_factory
 
     # -- stage 1: profile + lower ------------------------------------------
@@ -247,7 +263,8 @@ class ISEDesignFlow:
         hot = self._select_hot_blocks(blocks)
         if obs:
             obs.event("flow.profile", program=program.name,
-                      opt=opt_level, blocks=len(blocks),
+                      opt=opt_level, engine=self.engine,
+                      blocks=len(blocks),
                       explorable=sum(1 for b in blocks if b.explorable))
             for instance in hot:
                 obs.event("flow.hot_block", function=instance.function,
@@ -268,7 +285,8 @@ class ISEDesignFlow:
                 candidates.append(candidate)
         if obs:
             obs.event("flow.explored", program=program.name,
-                      candidates=len(candidates), jobs=jobs)
+                      engine=self.engine, candidates=len(candidates),
+                      jobs=jobs)
         return ExploredApplication(program, self.machine, blocks, candidates,
                                    explored_labels, self.technology,
                                    self.constraints)

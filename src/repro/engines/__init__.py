@@ -1,0 +1,48 @@
+"""Pluggable ISE-exploration engines and their string-keyed registry.
+
+The design flow, :func:`repro.api.explore` and the CLI resolve their
+``engine=`` / ``--engine`` argument through this package: every engine
+implements the :class:`~repro.engines.base.ExplorerEngine` protocol, so
+rival search strategies race interchangeably over the same DFG /
+IO-table / convexity machinery and — crucially — the same metered
+:meth:`~repro.engines.base.ExplorerEngine._evaluate` scoring path,
+which is what makes equal-:class:`~repro.engines.base.EvalBudget`
+tournaments (:mod:`repro.eval.tournament`) fair.
+
+Built-in engines (lazily imported on first use):
+
+``aco``
+    The paper's multi-issue ant-colony search (the default).
+``isegen``
+    ISEGEN-style Kernighan-Lin cut growing (Biswas et al.).
+``greedy``
+    Deterministic cone growth promoted from the §5 baselines.
+``genetic``
+    Generational genetic search over hardware subsets.
+
+Third-party engines join with ``engines.register("name", MyEngine)``.
+"""
+
+from .base import (EngineStats, EvalBudget, ExplorationResult,
+                   ExplorerEngine, available, create, describe,
+                   engine_class, register, register_lazy, unregister)
+
+register_lazy("aco", "repro.engines.aco", "AcoEngine",
+              "multi-issue ant-colony search of the source paper "
+              "(critical-path-aware trails/merits, the default)")
+register_lazy("isegen", "repro.engines.isegen", "IsegenEngine",
+              "ISEGEN-style Kernighan-Lin cut growing: toggle-based "
+              "iterative improvement with locking and best-prefix "
+              "reversion")
+register_lazy("greedy", "repro.engines.greedy", "GreedyEngine",
+              "deterministic greedy cone growth around each seed node "
+              "(the classic single-pass baseline)")
+register_lazy("genetic", "repro.engines.genetic", "GeneticEngine",
+              "generational genetic search over hardware-node subsets "
+              "(tournament selection, uniform crossover)")
+
+__all__ = [
+    "EngineStats", "EvalBudget", "ExplorationResult", "ExplorerEngine",
+    "available", "create", "describe", "engine_class", "register",
+    "register_lazy", "unregister",
+]

@@ -55,6 +55,15 @@ class ConvergenceError(ExplorationError):
     """A round failed to converge within the iteration budget."""
 
 
+class BudgetExhausted(ReproError):
+    """An :class:`~repro.engines.base.EvalBudget` refused a further
+    uncached candidate evaluation.
+
+    Engines racing under a tournament budget catch this internally and
+    return their best-so-far result; it only escapes an engine when the
+    budget dies before even the block baseline could be evaluated."""
+
+
 class ConstraintError(ReproError):
     """An ISE candidate violates a physical constraint."""
 

@@ -33,6 +33,13 @@ from .reporting import (
     render_table_5_1_1,
 )
 from .stats import ExplorationStats, stats_of
+from .tournament import (
+    EngineRow,
+    TournamentResult,
+    render_tournament,
+    run_tournament,
+    tournament_record,
+)
 from .persistence import (
     candidate_record,
     figure_record,
@@ -45,10 +52,12 @@ from .persistence import (
 __all__ = [
     "ALGORITHMS",
     "AREA_BUDGETS",
+    "EngineRow",
     "EvalContext",
     "ExplorationStats",
     "ISE_COUNTS",
     "PROFILES",
+    "TournamentResult",
     "candidate_record",
     "figure_record",
     "load_figure",
@@ -74,5 +83,8 @@ __all__ = [
     "render_per_workload",
     "render_stacked_figure",
     "render_table_5_1_1",
+    "render_tournament",
+    "run_tournament",
     "summarize",
+    "tournament_record",
 ]

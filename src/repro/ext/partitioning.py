@@ -13,14 +13,14 @@ maps one-to-one onto the ISE exploration algorithm:
 This module performs that "slight modification": a coarse-grained
 :class:`TaskGraph` (tasks with multi-cycle software latencies and one
 or more hardware bins) is lowered onto the exact same DFG + IO-table
-machinery, and :func:`partition` runs :class:`MultiIssueExplorer` over
+machinery, and :func:`partition` runs :class:`~repro.engines.aco.AcoEngine` over
 it.  Hardware-mapped connected task groups come back as co-processor
 blocks with their combined latency and area — the analogue of ISEs at
 task granularity.
 """
 
 from ..config import ExplorationParams, ISEConstraints
-from ..core.exploration import MultiIssueExplorer
+from ..engines.aco import AcoEngine
 from ..errors import ConfigError, IRError
 from ..graph.dfg import DFG
 from ..hwlib.options import HardwareOption, IOTable, SoftwareOption
@@ -219,7 +219,7 @@ def partition(task_graph, processors=1, hw_slots=1, max_area=None,
     constraints = ISEConstraints(n_in=64, n_out=32, max_area=max_area)
     params = params or ExplorationParams(
         max_iterations=120, restarts=2, max_rounds=8)
-    explorer = MultiIssueExplorer(
+    explorer = AcoEngine(
         machine, params=params, constraints=constraints,
         technology=technology, seed=seed)
     exploration = explorer.explore(dfg, io_tables=tables)

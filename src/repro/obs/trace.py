@@ -35,7 +35,9 @@ def load_trace(path):
 def summarize_trace(records):
     """Aggregate a record stream into a summary dict.
 
-    Keys: ``events`` (total), ``kinds`` (kind → count), ``blocks``
+    Keys: ``events`` (total), ``engine`` (registry name recorded by the
+    flow header events, or ``None`` for pre-engine traces), ``kinds``
+    (kind → count), ``blocks``
     (per-block base/final cycles), ``rounds`` / ``iterations`` totals,
     ``p_end`` (first/last convergence floor seen), ``cache`` (hit /
     miss / store counts), ``evaluate`` (last flow.evaluate payload),
@@ -52,9 +54,13 @@ def summarize_trace(records):
     cache = {"hit": 0, "miss": 0, "store": 0}
     evaluate = None
     metrics = None
+    engine = None
     for record in records:
         kind = record.get("kind")
         kinds[kind] = kinds.get(kind, 0) + 1
+        if kind in ("flow.profile", "flow.explored") \
+                and record.get("engine"):
+            engine = record["engine"]
         if kind == "round":
             rounds += 1
         elif kind == "iteration":
@@ -90,6 +96,7 @@ def summarize_trace(records):
                 if name.startswith("pool.")} or None
     return {
         "events": len(records),
+        "engine": engine,
         "kinds": kinds,
         "blocks": blocks,
         "rounds": rounds,
@@ -105,6 +112,8 @@ def summarize_trace(records):
 def render_summary(summary):
     """Human-readable rendering of :func:`summarize_trace` output."""
     lines = ["trace: {} events".format(summary["events"])]
+    if summary.get("engine"):
+        lines.append("engine: {}".format(summary["engine"]))
     lines.append("events by kind:")
     for kind in sorted(summary["kinds"]):
         lines.append("  {:24s} {}".format(kind, summary["kinds"][kind]))

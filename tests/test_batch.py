@@ -15,7 +15,7 @@ import random
 import pytest
 
 from repro.config import ExplorationParams
-from repro.core import exploration
+from repro.engines import aco as aco_engine
 from repro.core.batch import (
     BatchedAntRunner,
     DEFAULT_BATCH,
@@ -204,8 +204,8 @@ class TestReadyListStaysSorted:
         """The bisect-based removal is only correct on a sorted list;
         assert the invariant at every insertion and removal point."""
         checked = {"count": 0}
-        real_insort = exploration.insort
-        real_bisect = exploration.bisect_left
+        real_insort = aco_engine.insort
+        real_bisect = aco_engine.bisect_left
 
         def checked_insort(seq, value):
             assert seq == sorted(seq)
@@ -217,8 +217,9 @@ class TestReadyListStaysSorted:
             checked["count"] += 1
             return real_bisect(seq, value)
 
-        monkeypatch.setattr(exploration, "insort", checked_insort)
-        monkeypatch.setattr(exploration, "bisect_left", checked_bisect)
+        monkeypatch.setattr(aco_engine, "insort", checked_insort)
+        monkeypatch.setattr(aco_engine, "bisect_left",
+                            checked_bisect)
         dfg = diamond_dfg()
         params = ExplorationParams(max_iterations=20, restarts=1,
                                    max_rounds=2)
