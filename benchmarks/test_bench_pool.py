@@ -144,7 +144,15 @@ def test_bench_pool_scaling(benchmark, monkeypatch):
 
     assert all(seconds > 0 for seconds in timings.values())
     if os.environ.get("REPRO_BENCH_STRICT") == "1":
-        # Reference-host gates: 4 workers must clear 2.5x serial, and
-        # the warm pool must beat the cold pooled call by 1.5x.
-        assert serial_s / cold4_s >= 2.5
-        assert amortization >= 1.5
+        if (os.cpu_count() or 1) >= max(JOB_COUNTS):
+            # Reference-host gates: 4 workers must clear 2.5x serial,
+            # and the warm pool must beat the cold pooled call by 1.5x.
+            assert serial_s / cold4_s >= 2.5
+            assert amortization >= 1.5
+        else:
+            # Fewer cores than workers: 4 processes time-slice one or
+            # two CPUs, so wall-clock multipliers are meaningless here.
+            # Parity was still asserted above; only the scaling gates
+            # are host-dependent.
+            print("strict scaling gates skipped: {} cpu(s) < {} "
+                  "worker(s)".format(os.cpu_count(), max(JOB_COUNTS)))

@@ -1,0 +1,172 @@
+"""Remote evalcache + sharded sweep benchmark: parity and warm-up.
+
+One in-process ``EvalCacheServer`` on a loopback socket plays the
+fleet-shared cache; the bench then runs the same small sweep grid
+(crc32 + bitcount × two machines × two budgets) through five phases:
+
+* ``local``  — remote tier disabled: the serial reference digest every
+  later phase must reproduce bit-identically;
+* ``cold``   — remote enabled against an *empty* server: pays the
+  publication cost (puts) on top of the exploration;
+* ``warm``   — a fresh "host" (new disk-cache dir, empty local tiers)
+  against the now-populated server: remote hits replace recomputation;
+* ``shards`` — the grid split ``0/2`` + ``1/2`` by cell fingerprint
+  and merged: the merge digest must equal the serial digest;
+* ``killed`` — the server is stopped by a timer *mid-sweep*: the
+  client's circuit breaker degrades every probe to a local miss and
+  the digest still matches (graceful-degradation acceptance).
+
+``BENCH_remote.json`` records wall-clock per phase, the warm/cold
+speedup, the remote hit rate and the parity verdicts.  Wall-clock
+gates (warm faster than cold, nonzero warm hit rate) are asserted
+under ``REPRO_BENCH_STRICT=1``; digest parity is asserted always.
+"""
+
+import json
+import os
+import threading
+import time
+
+from repro.dist.client import remote_cache, remote_counters, \
+    reset_remote_cache
+from repro.dist.server import EvalCacheServer
+from repro.dist.sweep import merge_sweeps, run_sweep
+
+from conftest import run_once
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "BENCH_remote.json")
+
+WORKLOADS = ("crc32", "bitcount")
+MACHINES = (("4/2", 2), ("8/4", 3))
+BUDGETS = (20_000.0, 320_000.0)
+EFFORT = dict(iterations=24, restarts=2)
+
+
+def _sweep(**kwargs):
+    return run_sweep(workloads=WORKLOADS, machines=MACHINES,
+                     budgets=BUDGETS, seed=17, **EFFORT, **kwargs)
+
+
+def test_bench_remote_sweep(benchmark, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_REMOTE_TIMEOUT", "5.0")
+
+    def host(name):
+        """Each phase runs as a fresh 'host': empty local disk cache."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / name))
+
+    def timed(fn):
+        start = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - start
+
+    server = EvalCacheServer(port=0)
+    server.start_in_thread()
+
+    def measure():
+        phases = {}
+
+        monkeypatch.delenv("REPRO_REMOTE_CACHE", raising=False)
+        reset_remote_cache()
+        host("local")
+        local, phases["local_s"] = timed(_sweep)
+
+        monkeypatch.setenv("REPRO_REMOTE_CACHE", server.address)
+        reset_remote_cache()
+        host("cold")
+        cold, phases["cold_s"] = timed(_sweep)
+        cold_tallies = remote_counters()
+
+        host("warm")
+        warm, phases["warm_s"] = timed(_sweep)
+        warm_tallies = {
+            name: remote_counters()[name] - cold_tallies[name]
+            for name in cold_tallies
+        }
+
+        host("shard0")
+        part0, phases["shard0_s"] = timed(lambda: _sweep(shard=(0, 2)))
+        host("shard1")
+        part1, phases["shard1_s"] = timed(lambda: _sweep(shard=(1, 2)))
+        merged = merge_sweeps([part0, part1])
+
+        # Kill the server shortly after the sweep starts: the breaker
+        # must absorb every subsequent probe without changing results.
+        monkeypatch.setenv("REPRO_REMOTE_TIMEOUT", "0.1")
+        reset_remote_cache()
+        host("killed")
+        killer = threading.Timer(0.05, server.stop)
+        killer.start()
+        try:
+            killed, phases["killed_s"] = timed(_sweep)
+        finally:
+            killer.cancel()
+        killed_errors = remote_counters()["errors"] \
+            + remote_counters()["skipped"]
+        reset_remote_cache()
+        return (phases, local, cold, warm, merged, killed,
+                warm_tallies, killed_errors)
+
+    try:
+        (phases, local, cold, warm, merged, killed, warm_tallies,
+         killed_errors) = run_once(benchmark, measure)
+    finally:
+        server.stop()
+        reset_remote_cache()
+
+    # Hard contracts, asserted on any host: every phase reproduces the
+    # serial reference digest bit-identically.
+    reference = local.digest
+    assert cold.digest == reference, "cold remote sweep broke parity"
+    assert warm.digest == reference, "warm remote sweep broke parity"
+    assert merged.digest == reference, "sharded merge broke parity"
+    assert killed.digest == reference, "server kill changed results"
+
+    warm_gets = warm_tallies["gets"] + warm_tallies["blob_gets"]
+    warm_hits = warm_tallies["hits"] + warm_tallies["blob_hits"]
+    hit_rate = warm_hits / warm_gets if warm_gets else 0.0
+    speedup = phases["cold_s"] / phases["warm_s"] \
+        if phases["warm_s"] > 0 else 0.0
+    payload = {
+        "grid": {
+            "workloads": list(WORKLOADS),
+            "machines": [list(m) for m in MACHINES],
+            "budgets": list(BUDGETS),
+            "effort": EFFORT,
+        },
+        "phases_s": {name: round(seconds, 3)
+                     for name, seconds in phases.items()},
+        "warm_speedup_vs_cold": round(speedup, 3),
+        "warm_remote": {
+            "gets": warm_gets,
+            "hits": warm_hits,
+            "hit_rate": round(hit_rate, 3),
+            "puts": warm_tallies["puts"],
+        },
+        "killed_server_errors_absorbed": killed_errors,
+        "golden_digest": reference,
+        "parity": {
+            "cold": cold.digest == reference,
+            "warm": warm.digest == reference,
+            "sharded_merge": merged.digest == reference,
+            "killed": killed.digest == reference,
+        },
+        "rows": len(local.rows),
+    }
+    with open(OUT_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    print("remote: local {:.2f}s | cold {:.2f}s | warm {:.2f}s "
+          "({:.2f}x cold, {:.0%} hit rate) | kill absorbed {} "
+          "error(s)/skip(s)".format(
+              phases["local_s"], phases["cold_s"], phases["warm_s"],
+              speedup, hit_rate, killed_errors))
+
+    assert warm_gets > 0                   # the warm host probed remote
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        # Reference-host gates: the warm remote cache must pay for
+        # itself and actually answer probes.
+        assert phases["warm_s"] < phases["cold_s"]
+        assert hit_rate >= 0.5

@@ -8,52 +8,45 @@ a set of area budgets on a media-ish workload mix (adpcm + jpeg) and
 prints the reduction matrix, so the trade-off the paper argues about is
 visible in one table.
 
-Built on the stable public API: each (workload, machine) cell is
-explored once with ``repro.explore`` and the budget sweep reuses the
-frozen :class:`repro.ExploreResult` through ``repro.evaluate``.
+Built on the stable public API: one :func:`repro.sweep` call runs the
+whole (workload × machine × budget) grid — each cell explored once,
+every budget evaluated against the frozen exploration — and returns a
+frozen :class:`repro.SweepResult` with a content digest.  The same
+grid shards across hosts with ``shard=(i, n)`` (or ``repro sweep
+--shard i/n`` on the CLI) and merges back bit-identically; point
+``REPRO_REMOTE_CACHE`` at a ``repro cache-server`` to share the
+evaluation work between the shards.
 
 Usage::
 
-    python examples/design_space_sweep.py [--quick]
+    python examples/design_space_sweep.py [--quick] [--shard i/n]
 """
 
 import sys
 
-from repro import evaluate, explore
+from repro import sweep
+from repro.dist.sweep import parse_shard, render_sweep
 from repro.eval import default_profile
-from repro.sched.machine import PAPER_CASES
 
 BUDGETS = (20_000, 80_000, 320_000)
 WORKLOADS = ("adpcm", "jpeg")
 
 
 def main():
-    profile = "quick" if "--quick" in sys.argv else default_profile()
-    header = "{:16s}".format("machine")
-    header += "".join("{:>14}".format("{}um2".format(b)) for b in BUDGETS)
-    print("Execution-time reduction, mean over {} (O3, MI explorer)"
-          .format("+".join(WORKLOADS)))
-    print(header)
-    print("-" * len(header))
-    best = (None, -1.0)
-    for ports, issue in PAPER_CASES:
-        label = "({}, {}IS)".format(ports, issue)
-        explored = [explore(name, issue=issue, ports=ports,
-                            profile=profile, seed=11)
-                    for name in WORKLOADS]
-        cells = []
-        for budget in BUDGETS:
-            reductions = [
-                100.0 * evaluate(result, max_area=budget).reduction
-                for result in explored
-            ]
-            value = sum(reductions) / len(reductions)
-            cells.append(value)
-            if value > best[1]:
-                best = ("{} @ {} um2".format(label, budget), value)
-        print("{:16s}".format(label)
-              + "".join("{:>13.2f}%".format(v) for v in cells))
-    print("\nBest cell: {} ({:.2f}% reduction)".format(*best))
+    argv = sys.argv[1:]
+    profile = "quick" if "--quick" in argv else default_profile()
+    shard = None
+    if "--shard" in argv:
+        shard = parse_shard(argv[argv.index("--shard") + 1])
+    result = sweep(WORKLOADS, budgets=BUDGETS, profile=profile,
+                   seed=11, shard=shard)
+    if shard is None:
+        print(render_sweep(result))
+    else:
+        print("shard {}/{}: {} row(s) over {} cell(s)".format(
+            result.shard_index, result.shard_count,
+            len(result.rows), len(result.cells)))
+    print("digest: {}".format(result.digest))
 
 
 if __name__ == "__main__":

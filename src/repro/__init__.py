@@ -55,7 +55,9 @@ from .api import (
     explore,
     list_engines,
     shutdown_pools,
+    sweep,
 )
+from .dist.sweep import SweepResult, SweepRow, merge_sweeps
 
 __version__ = "1.1.0"
 
@@ -82,6 +84,8 @@ __all__ = [
     "ReproError",
     "SelectionResult",
     "SingleIssueExplorer",
+    "SweepResult",
+    "SweepRow",
     "Technology",
     "all_workloads",
     "engines",
@@ -89,7 +93,9 @@ __all__ = [
     "explore",
     "get_workload",
     "list_engines",
+    "merge_sweeps",
     "paper_machines",
     "shutdown_pools",
+    "sweep",
     "workload_names",
 ]

@@ -9,7 +9,11 @@ functions:
   return a frozen :class:`ExploreResult`;
 * :func:`evaluate` — select ISEs under a budget (reusing a prior
   :class:`ExploreResult`, or exploring from scratch when given a
-  workload name), return a frozen :class:`SelectionResult`.
+  workload name), return a frozen :class:`SelectionResult`;
+* :func:`sweep` — run a (workload × machine × budget) design-space
+  grid, optionally one deterministic shard of it, returning a frozen
+  :class:`~repro.dist.sweep.SweepResult` whose merged digest is
+  bit-identical to a serial run.
 
 Both accept ``trace=PATH`` to stream a JSON-lines observability trace
 (read back with ``python -m repro metrics PATH``) and ``observer=`` for
@@ -39,7 +43,7 @@ from .core.pool import shutdown_pools  # re-export: public teardown  # noqa: F40
 from .errors import ReproError
 from .eval.runner import PROFILES
 from .obs import NULL_OBSERVER, JsonlSink, Observer
-from .sched.machine import MachineConfig
+from .sched.machine import PAPER_CASES, MachineConfig
 from .workloads import get_workload
 
 
@@ -250,3 +254,42 @@ def evaluate(source, *, max_area=None, max_ises=None, enable_sharing=True,
         ises=tuple(entry.representative.describe()
                    for entry in report.selection.selected),
         metrics=metrics, report=report)
+
+
+def sweep(workloads, *, machines=None, budgets=None, opt="O3",
+          profile="quick", seed=0, engine="aco", jobs=None, batch=None,
+          iterations=None, restarts=None, shard=None, trace=None,
+          observer=None):
+    """Run a (workload × machine × budget) design-space sweep.
+
+    Each (workload, machine) cell is explored once, then evaluated at
+    every area budget; the returned
+    :class:`~repro.dist.sweep.SweepResult` carries one frozen row per
+    (cell, budget) in canonical grid order, plus a content ``digest``.
+
+    ``machines`` is a sequence of ``(ports, issue)`` pairs (default:
+    the paper's §5.1 cases); ``budgets`` a sequence of area budgets in
+    µm² (default 20k/80k/320k).  ``shard=(index, count)`` runs only the
+    cells that hash onto that shard — partitioning is deterministic by
+    cell fingerprint, so ``count`` hosts each running their shard and
+    :func:`repro.dist.sweep.merge_sweeps` over the parts reproduce the
+    serial digest bit-identically.  Point ``REPRO_REMOTE_CACHE`` at a
+    ``repro cache-server`` to share evaluation work between shards.
+
+    ``trace``/``observer`` behave as in :func:`explore`; sweep-level
+    progress lands on the ``sweep.*`` counters and events.
+    """
+    from .dist.sweep import DEFAULT_BUDGETS, run_sweep
+
+    obs, owned = _resolve_observer(trace, observer)
+    try:
+        return run_sweep(
+            workloads=workloads,
+            machines=PAPER_CASES if machines is None else machines,
+            budgets=DEFAULT_BUDGETS if budgets is None else budgets,
+            opt=opt, profile=profile, seed=seed, engine=engine,
+            jobs=jobs, batch=batch, iterations=iterations,
+            restarts=restarts, shard=shard, obs=obs)
+    finally:
+        if owned:
+            obs.close()

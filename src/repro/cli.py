@@ -20,6 +20,13 @@ Commands
     Print the before/after issue bundles of the hottest block.
 ``metrics``
     Summarise a JSON-lines observability trace written via ``--trace``.
+``sweep``
+    Run a (workload × machine × budget) design-space sweep — the whole
+    grid, one deterministic shard of it (``--shard i/n``), or a merge
+    of shard part files (``--merge part0.json part1.json …``).
+``cache-server``
+    Run the remote evalcache server that sweep shards share via
+    ``REPRO_REMOTE_CACHE=host:port``.
 
 ``explore`` and ``selftest`` accept ``--trace PATH`` (stream a JSON-lines
 event trace), ``--metrics`` (print the counters/timers registry after the
@@ -271,6 +278,82 @@ def _cmd_metrics(args):
     return 0
 
 
+def _parse_machines(text):
+    """``"2:4/2,3:8/4"`` (issue:ports pairs) → ``((ports, issue), ...)``."""
+    from .errors import ReproError
+
+    if text.strip().lower() == "paper":
+        from .sched.machine import PAPER_CASES
+
+        return PAPER_CASES
+    machines = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        try:
+            issue_text, ports = item.split(":", 1)
+            machines.append((ports.strip(), int(issue_text)))
+        except ValueError:
+            raise ReproError(
+                "machine must look like ISSUE:PORTS (e.g. 2:4/2), got "
+                "{!r}".format(item)) from None
+    if not machines:
+        raise ReproError("--machines needs at least one ISSUE:PORTS pair")
+    return tuple(machines)
+
+
+def _cmd_sweep(args):
+    from .dist.sweep import (
+        SweepResult,
+        merge_sweeps,
+        parse_shard,
+        render_sweep,
+    )
+    from .eval.persistence import load_json, save_json
+
+    if args.merge:
+        parts = [SweepResult.from_payload(load_json(path))
+                 for path in args.merge]
+        result = merge_sweeps(parts)
+        print(render_sweep(result))
+    else:
+        observer = _observer_from_args(args)
+        try:
+            result = api.sweep(
+                [w.strip() for w in args.workloads.split(",") if w.strip()],
+                machines=_parse_machines(args.machines),
+                budgets=tuple(float(b) for b in args.budgets.split(",")),
+                opt=args.opt, profile=args.profile, seed=args.seed,
+                engine=args.engine, jobs=args.jobs, batch=args.batch,
+                iterations=args.iterations, restarts=args.restarts,
+                shard=parse_shard(args.shard) if args.shard else None,
+                observer=observer)
+        finally:
+            _finish_observer(args, observer)
+        if result.shard_index is None:
+            print(render_sweep(result))
+        else:
+            print("shard {}/{}: {} row(s) over {} cell(s)".format(
+                result.shard_index, result.shard_count,
+                len(result.rows), len(result.cells)))
+    print("digest   : {}".format(result.digest))
+    if args.out:
+        save_json(args.out, result.to_payload())
+        print("written  : {}".format(args.out))
+    return 0
+
+
+def _cmd_cache_server(args):
+    from .dist.server import EvalCacheServer
+
+    server = EvalCacheServer(host=args.host, port=args.port,
+                             max_entries=args.max_entries,
+                             max_bytes=args.max_bytes)
+    server.run_blocking()
+    return 0
+
+
 def _cmd_dot(args):
     workload = get_workload(args.workload)
     program, run_args = workload.build()
@@ -330,6 +413,72 @@ def build_parser():
         "metrics", help="summarise a JSON-lines observability trace")
     metrics.add_argument("trace", help="trace file written via --trace")
     metrics.set_defaults(func=_cmd_metrics)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="design-space sweep (full grid, one shard, or a merge)")
+    sweep.add_argument("--workloads", default="adpcm,jpeg",
+                       help="comma-separated workload names "
+                            "(default adpcm,jpeg)")
+    sweep.add_argument("--machines", default="paper", metavar="SPEC",
+                       help="comma-separated ISSUE:PORTS pairs (e.g. "
+                            "2:4/2,3:8/4), or 'paper' for the §5.1 "
+                            "cases (default)")
+    sweep.add_argument("--budgets", default="20000,80000,320000",
+                       help="comma-separated area budgets in um2 "
+                            "(default 20000,80000,320000)")
+    sweep.add_argument("--opt", choices=("O0", "O3"), default="O3")
+    sweep.add_argument("--profile", default="quick",
+                       choices=("quick", "normal", "full"),
+                       help="effort profile (default quick)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--jobs", default=None, metavar="N",
+                       help="worker processes per exploration "
+                            "(default: $REPRO_JOBS or serial)")
+    sweep.add_argument("--batch", default=None, metavar="B",
+                       help="ants per ACO lockstep batch "
+                            "(default: $REPRO_ANT_BATCH or 16)")
+    sweep.add_argument("--engine", default="aco", metavar="NAME",
+                       help="exploration engine (default aco)")
+    sweep.add_argument("--iterations", type=int, default=None,
+                       help="override the profile's ACO iterations")
+    sweep.add_argument("--restarts", type=int, default=None,
+                       help="override the profile's restarts per block")
+    sweep.add_argument("--shard", default=None, metavar="I/N",
+                       help="run only the cells hashing onto shard I "
+                            "of N (deterministic partition)")
+    sweep.add_argument("--out", default=None, metavar="PATH",
+                       help="write the result payload as JSON (the "
+                            "input format of --merge)")
+    sweep.add_argument("--merge", nargs="+", default=None,
+                       metavar="PART",
+                       help="merge shard part files written via --out "
+                            "instead of running the sweep")
+    _add_obs_args(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    cache_server = sub.add_parser(
+        "cache-server",
+        help="run the remote evalcache server (REPRO_REMOTE_CACHE)")
+    from .dist.server import (
+        DEFAULT_MAX_BYTES,
+        DEFAULT_MAX_ENTRIES,
+        DEFAULT_PORT,
+    )
+
+    cache_server.add_argument("--host", default="127.0.0.1")
+    cache_server.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help="TCP port (0 picks a free one; default {})".format(
+            DEFAULT_PORT))
+    cache_server.add_argument(
+        "--max-entries", type=int, default=DEFAULT_MAX_ENTRIES,
+        help="LRU entry bound (default {})".format(DEFAULT_MAX_ENTRIES))
+    cache_server.add_argument(
+        "--max-bytes", type=int, default=DEFAULT_MAX_BYTES,
+        help="LRU byte bound over values (default {})".format(
+            DEFAULT_MAX_BYTES))
+    cache_server.set_defaults(func=_cmd_cache_server)
 
     dot = sub.add_parser("dot", help="DOT of the hottest block + ISEs")
     dot.add_argument("workload")

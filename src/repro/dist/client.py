@@ -1,0 +1,459 @@
+"""The remote evalcache *client* tier.
+
+One process-wide :class:`RemoteEvalCache` (built lazily from the
+``REPRO_REMOTE_CACHE=host:port`` environment variable) sits behind the
+existing cache stack: the per-engine :class:`~repro.core.evalcache
+.EvalCache` dict, the pool's shared-memory table and the on-disk
+:class:`~repro.eval.persistence.ExplorationCache` all fall through to
+it on a miss and *promote* its hits into themselves, so a cycle count
+computed by any host of a sweep is computed exactly once per fleet.
+
+Design constraints, in order:
+
+1. **The hot path must never stall on the network.**  Every operation
+   is best-effort: a refused connection, a timeout, a truncated or
+   corrupt response all count an error, close the socket and return a
+   miss.  A :class:`CircuitBreaker` with exponential backoff keeps a
+   *dead* server from even being dialled — while it is open, every
+   probe is an instant local miss, so results degrade to the lower
+   tiers bit-identically.
+2. **Writes are batched.**  ``put_cycles`` appends to an insert log
+   that is flushed as one MPUT frame when it reaches
+   ``REPRO_REMOTE_FLUSH`` entries (and at context/pool teardown) —
+   the same fold rhythm the shared-memory tier uses.  The pool parent
+   additionally folds each dispatch's worker insert logs with
+   :meth:`~RemoteEvalCache.put_many_cycles`.
+3. **Fork safety.**  Pool workers inherit the singleton across
+   ``fork()``; the client detects the PID change and re-dials rather
+   than sharing a socket (two processes interleaving frames on one
+   connection would corrupt both).
+
+The client is scope-agnostic: callers pass fully scope-qualified key
+bytes (:func:`repro.core.pool.shared_key_bytes`), so isolation between
+machine scopes is exactly the shared-memory tier's.
+"""
+
+import atexit
+import os
+import socket
+import time
+
+from . import protocol
+
+#: ``host:port`` of the remote cache server; unset/empty disables the tier.
+REMOTE_ENV = "REPRO_REMOTE_CACHE"
+
+#: Per-operation socket timeout in seconds.
+TIMEOUT_ENV = "REPRO_REMOTE_TIMEOUT"
+DEFAULT_TIMEOUT = 0.25
+
+#: Insert-log length that triggers a batched MPUT flush.
+FLUSH_ENV = "REPRO_REMOTE_FLUSH"
+DEFAULT_FLUSH = 128
+
+#: Largest value accepted for blob (exploration bundle) write-through.
+MAX_BLOB_ENV = "REPRO_REMOTE_MAX_BLOB"
+DEFAULT_MAX_BLOB = 8 * 1024 * 1024
+
+#: Circuit-breaker backoff: first open, doubling up to the cap.
+BACKOFF_FIRST = 0.5
+BACKOFF_CAP = 30.0
+
+#: Rows requested when seeding a new worker pool's shared table.
+SNAPSHOT_ROWS = 4096
+
+
+def remote_enabled():
+    """True when ``REPRO_REMOTE_CACHE`` names a server."""
+    return bool(os.environ.get(REMOTE_ENV, "").strip())
+
+
+def _parse_address(text):
+    host, sep, port = text.strip().rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            "REPRO_REMOTE_CACHE must be host:port, got {!r}".format(text))
+    return host, int(port)
+
+
+def _env_float(name, default):
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _env_int(name, default):
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+class CircuitBreaker:
+    """Failure gate with exponential backoff.
+
+    ``allow()`` answers "may we touch the network right now?".  After a
+    failure the breaker opens for ``backoff`` seconds (0.5 s doubling
+    to 30 s); a success while closed resets the backoff to its floor.
+    Opens are counted so the observability layer can report a flapping
+    server.
+    """
+
+    __slots__ = ("backoff", "open_until", "opens")
+
+    def __init__(self):
+        self.backoff = BACKOFF_FIRST
+        self.open_until = 0.0
+        self.opens = 0
+
+    def allow(self, now=None):
+        """Whether a request may go out (breaker closed or expired)."""
+        return (now if now is not None else time.monotonic()) \
+            >= self.open_until
+
+    def record_failure(self, now=None):
+        """Open the breaker, doubling the backoff up to the cap."""
+        now = now if now is not None else time.monotonic()
+        self.open_until = now + self.backoff
+        self.backoff = min(self.backoff * 2.0, BACKOFF_CAP)
+        self.opens += 1
+
+    def record_success(self):
+        """Close the breaker and reset the backoff to its floor."""
+        self.backoff = BACKOFF_FIRST
+        self.open_until = 0.0
+
+
+class RemoteEvalCache:
+    """Synchronous, failure-tolerant client for one cache server."""
+
+    def __init__(self, address, timeout=None, flush_threshold=None,
+                 max_blob=None):
+        self.address = address
+        self.host, self.port = _parse_address(address)
+        self.timeout = timeout if timeout is not None \
+            else _env_float(TIMEOUT_ENV, DEFAULT_TIMEOUT)
+        self.flush_threshold = flush_threshold if flush_threshold is not None \
+            else max(1, _env_int(FLUSH_ENV, DEFAULT_FLUSH))
+        self.max_blob = max_blob if max_blob is not None \
+            else _env_int(MAX_BLOB_ENV, DEFAULT_MAX_BLOB)
+        self.breaker = CircuitBreaker()
+        self._sock = None
+        self._pid = os.getpid()
+        self._log = []
+        #: Client-side tallies (the ``remote.*`` counters' source).
+        self.tallies = {
+            "gets": 0, "hits": 0, "misses": 0,
+            "puts": 0, "put_drops": 0, "flushes": 0,
+            "blob_gets": 0, "blob_hits": 0, "blob_puts": 0,
+            "errors": 0, "breaker_opens": 0, "skipped": 0,
+        }
+
+    # -- connection plumbing ----------------------------------------------
+
+    def _fork_guard(self):
+        pid = os.getpid()
+        if pid != self._pid:
+            # Inherited across fork: the socket (if any) belongs to the
+            # parent.  Drop our copy without shutdown and re-dial; the
+            # insert log is the parent's to flush, not ours.
+            self._sock = None
+            self._log = []
+            self._pid = pid
+            self.breaker = CircuitBreaker()
+
+    def _connect(self):
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _drop(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _fail(self):
+        self._drop()
+        self.tallies["errors"] += 1
+        self.breaker.record_failure()
+        self.tallies["breaker_opens"] = self.breaker.opens
+
+    def _request(self, payload):
+        """One framed round trip, or ``None`` on any failure.
+
+        Never raises: connection refusals, timeouts, oversized or
+        truncated frames all open the breaker and report a miss to the
+        caller.
+        """
+        self._fork_guard()
+        if not self.breaker.allow():
+            self.tallies["skipped"] += 1
+            return None
+        try:
+            if self._sock is None:
+                self._sock = self._connect()
+            sock = self._sock
+            sock.sendall(protocol.pack_frame(payload))
+            response = self._recv_frame(sock)
+        except (OSError, protocol.ProtocolError, ValueError):
+            self._fail()
+            return None
+        self.breaker.record_success()
+        return response
+
+    def _recv_frame(self, sock):
+        prefix = self._recv_exact(sock, 4)
+        return self._recv_exact(sock, protocol.frame_length(prefix))
+
+    @staticmethod
+    def _recv_exact(sock, n):
+        parts = []
+        remaining = n
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                raise protocol.ProtocolError("connection closed mid-frame")
+            parts.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(parts)
+
+    @property
+    def available(self):
+        """True when the breaker would let a request through now."""
+        self._fork_guard()
+        return self.breaker.allow()
+
+    # -- cycle-count tier (the evalcache) ----------------------------------
+
+    def get_cycles(self, key_bytes):
+        """Remote cycle count for one scope-qualified key, or None."""
+        self._fork_guard()
+        if not self.breaker.allow():
+            self.tallies["skipped"] += 1
+            return None
+        self.tallies["gets"] += 1
+        response = self._request(protocol.encode_get(key_bytes))
+        if response is None:
+            self.tallies["misses"] += 1
+            return None
+        try:
+            value = protocol.decode_get_response(response)
+        except protocol.ProtocolError:
+            self._fail()
+            self.tallies["misses"] += 1
+            return None
+        cycles = None if value is None else protocol.unpack_cycles(value)
+        if cycles is None:
+            self.tallies["misses"] += 1
+            return None
+        self.tallies["hits"] += 1
+        return cycles
+
+    def mget_cycles(self, keys):
+        """Batched lookup; one ``int | None`` per key, in key order."""
+        keys = list(keys)
+        if not keys:
+            return []
+        response = self._request(protocol.encode_mget(keys))
+        if response is None:
+            self.tallies["gets"] += len(keys)
+            self.tallies["misses"] += len(keys)
+            return [None] * len(keys)
+        try:
+            values = protocol.decode_mget_response(response, len(keys))
+        except protocol.ProtocolError:
+            self._fail()
+            self.tallies["gets"] += len(keys)
+            self.tallies["misses"] += len(keys)
+            return [None] * len(keys)
+        cycles = [None if value is None else protocol.unpack_cycles(value)
+                  for value in values]
+        self.tallies["gets"] += len(keys)
+        hits = sum(1 for c in cycles if c is not None)
+        self.tallies["hits"] += hits
+        self.tallies["misses"] += len(keys) - hits
+        return cycles
+
+    def put_cycles(self, key_bytes, cycles):
+        """Log one cycle count for the next batched flush."""
+        self._fork_guard()
+        self._log.append((key_bytes, protocol.pack_cycles(cycles)))
+        if len(self._log) >= self.flush_threshold:
+            self.flush()
+
+    def put_many_cycles(self, pairs):
+        """Fold a dispatch's worker insert logs (``(key, int)`` pairs)."""
+        self._fork_guard()
+        self._log.extend((key, protocol.pack_cycles(value))
+                         for key, value in pairs)
+        if len(self._log) >= self.flush_threshold:
+            self.flush()
+
+    def flush(self):
+        """Send the insert log as one MPUT (best-effort, never raises)."""
+        self._fork_guard()
+        log, self._log = self._log, []
+        if not log:
+            return 0
+        response = self._request(protocol.encode_mput(log))
+        if response is None:
+            self.tallies["put_drops"] += len(log)
+            return 0
+        try:
+            protocol.decode_count_response(response)
+        except protocol.ProtocolError:
+            self._fail()
+            self.tallies["put_drops"] += len(log)
+            return 0
+        self.tallies["puts"] += len(log)
+        self.tallies["flushes"] += 1
+        return len(log)
+
+    @property
+    def pending(self):
+        """Insert-log entries awaiting a flush."""
+        return len(self._log)
+
+    # -- blob tier (the disk cache's write-through) ------------------------
+
+    def get_blob(self, key_bytes):
+        """An opaque stored value (pickled bundle), or None."""
+        self.tallies["blob_gets"] += 1
+        response = self._request(protocol.encode_get(key_bytes))
+        if response is None:
+            return None
+        try:
+            value = protocol.decode_get_response(response)
+        except protocol.ProtocolError:
+            self._fail()
+            return None
+        if value is not None:
+            self.tallies["blob_hits"] += 1
+        return value
+
+    def put_blob(self, key_bytes, data):
+        """Write one blob through immediately (size-capped)."""
+        if len(data) > self.max_blob:
+            return False
+        response = self._request(protocol.encode_put(key_bytes, data))
+        if response is None:
+            return False
+        try:
+            protocol.decode_count_response(response)
+        except protocol.ProtocolError:
+            self._fail()
+            return False
+        self.tallies["blob_puts"] += 1
+        return True
+
+    # -- management --------------------------------------------------------
+
+    def server_stats(self):
+        """The server's stats dict, or None when unreachable."""
+        response = self._request(protocol.encode_stats())
+        if response is None:
+            return None
+        try:
+            return protocol.decode_stats_response(response)
+        except protocol.ProtocolError:
+            self._fail()
+            return None
+
+    def snapshot_cycle_rows(self, limit=SNAPSHOT_ROWS):
+        """Recent ``(key_bytes, cycles)`` rows for pool-table preload."""
+        response = self._request(protocol.encode_snap(limit, 8))
+        if response is None:
+            return []
+        try:
+            pairs = protocol.decode_snap_response(response)
+        except protocol.ProtocolError:
+            self._fail()
+            return []
+        rows = []
+        for key, value in pairs:
+            cycles = protocol.unpack_cycles(value)
+            if cycles is not None:
+                rows.append((key, cycles))
+        return rows
+
+    def close(self):
+        """Flush the insert log and drop the connection."""
+        try:
+            self.flush()
+        finally:
+            self._drop()
+
+    def __repr__(self):
+        return "RemoteEvalCache({}, {} hit(s) / {} miss(es), {})".format(
+            self.address, self.tallies["hits"], self.tallies["misses"],
+            "open breaker" if not self.breaker.allow() else "closed breaker")
+
+
+# -- the process-wide singleton ---------------------------------------------
+
+_CLIENT = None
+_CLIENT_ADDRESS = None
+
+
+def remote_cache():
+    """The process's remote tier, or ``None`` when disabled.
+
+    Rebuilt when ``REPRO_REMOTE_CACHE`` changes (tests flip it per
+    case); the per-call cost with the tier disabled is one environment
+    read and a ``None`` return.
+    """
+    global _CLIENT, _CLIENT_ADDRESS
+    address = os.environ.get(REMOTE_ENV, "").strip()
+    if not address:
+        if _CLIENT is not None:
+            _CLIENT.close()
+            _CLIENT = None
+            _CLIENT_ADDRESS = None
+        return None
+    if _CLIENT is None or _CLIENT_ADDRESS != address:
+        if _CLIENT is not None:
+            _CLIENT.close()
+        try:
+            _CLIENT = RemoteEvalCache(address)
+        except ValueError:
+            # A malformed address disables the tier rather than
+            # crashing every evaluation that probes the cache.
+            _CLIENT = None
+            address = None
+        _CLIENT_ADDRESS = address
+    return _CLIENT
+
+
+def reset_remote_cache():
+    """Close and forget the singleton (test isolation hook)."""
+    global _CLIENT, _CLIENT_ADDRESS
+    if _CLIENT is not None:
+        _CLIENT.close()
+    _CLIENT = None
+    _CLIENT_ADDRESS = None
+
+
+def remote_counters():
+    """A stable ``remote.*``-ready tallies dict (zeros when disabled)."""
+    client = _CLIENT
+    if client is None:
+        return {
+            "gets": 0, "hits": 0, "misses": 0,
+            "puts": 0, "put_drops": 0, "flushes": 0,
+            "blob_gets": 0, "blob_hits": 0, "blob_puts": 0,
+            "errors": 0, "breaker_opens": 0, "skipped": 0,
+        }
+    return dict(client.tallies)
+
+
+def _atexit_flush():
+    if _CLIENT is not None:
+        _CLIENT.close()
+
+
+atexit.register(_atexit_flush)

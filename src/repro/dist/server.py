@@ -1,0 +1,310 @@
+"""The remote evalcache server: ``repro cache-server``.
+
+One asyncio process holds a bounded LRU key/value store that every
+host of a design-space sweep shares.  Keys are the same scope-qualified
+bytes the shared-memory tier hashes
+(:func:`repro.core.pool.shared_key_bytes`), so scope isolation is
+inherited rather than re-implemented: a 2-issue cycle count and a
+4-issue probe differ in their key bytes and can never answer each
+other.  Values are opaque — 8-byte cycle counts from the evalcache
+tier, or pickled exploration bundles from the disk tier's write-through
+(the server never unpickles anything).
+
+The store is first-write-wins: a PUT of an existing key is a no-op.
+Every value in the table is a deterministic function of its key, so a
+second writer by definition carries the same payload — dropping it
+keeps LRU recency honest under sweep storms where every shard finishes
+the same hot block at once.
+
+Eviction is plain LRU over *entries* (``--max-entries``) plus a byte
+bound (``--max-bytes``); both only ever drop data that every client
+can recompute locally, so correctness is untouched by any sizing.
+"""
+
+import argparse
+import asyncio
+import threading
+
+from . import protocol
+
+#: Default TCP port (overridden by ``--port`` / the client address).
+DEFAULT_PORT = 7207
+
+#: Default LRU entry bound.
+DEFAULT_MAX_ENTRIES = 1 << 20
+
+#: Default byte bound over stored values (256 MiB).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class CacheStore:
+    """Bounded first-write-wins LRU mapping of bytes → bytes."""
+
+    def __init__(self, max_entries=DEFAULT_MAX_ENTRIES,
+                 max_bytes=DEFAULT_MAX_BYTES):
+        self.max_entries = max(1, int(max_entries))
+        self.max_bytes = max(1, int(max_bytes))
+        self._entries = {}      # insertion/access ordered (LRU via re-add)
+        self.value_bytes = 0
+        self.gets = 0
+        self.hits = 0
+        self.puts = 0
+        self.inserted = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key):
+        """Value bytes for ``key`` (refreshing its LRU age) or ``None``."""
+        self.gets += 1
+        entries = self._entries
+        value = entries.get(key)
+        if value is None:
+            return None
+        self.hits += 1
+        # Refresh recency: dicts preserve insertion order, so re-adding
+        # moves the entry to the young end.
+        del entries[key]
+        entries[key] = value
+        return value
+
+    def put(self, key, value):
+        """Insert one entry; returns True when it was new."""
+        self.puts += 1
+        entries = self._entries
+        if key in entries:
+            return False
+        entries[key] = value
+        self.value_bytes += len(value)
+        self.inserted += 1
+        self._evict()
+        return True
+
+    def _evict(self):
+        entries = self._entries
+        while len(entries) > self.max_entries \
+                or self.value_bytes > self.max_bytes:
+            if len(entries) <= 1:
+                break
+            oldest = next(iter(entries))
+            self.value_bytes -= len(entries.pop(oldest))
+            self.evictions += 1
+
+    def snapshot(self, limit, max_value_len):
+        """Up to ``limit`` youngest ``(key, value)`` pairs.
+
+        ``max_value_len`` filters by value size so an evalcache client
+        asking for cycle rows (8-byte values) never drags exploration
+        blobs over the wire.
+        """
+        pairs = []
+        for key, value in reversed(self._entries.items()):
+            if len(pairs) >= limit:
+                break
+            if max_value_len and len(value) > max_value_len:
+                continue
+            pairs.append((key, value))
+        return pairs
+
+    def stats(self):
+        """Occupancy and hit/miss/eviction tallies as a plain dict."""
+        return {
+            "entries": len(self._entries),
+            "value_bytes": self.value_bytes,
+            "gets": self.gets,
+            "hits": self.hits,
+            "puts": self.puts,
+            "inserted": self.inserted,
+            "evictions": self.evictions,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+        }
+
+
+class EvalCacheServer:
+    """Asyncio TCP front end over one :class:`CacheStore`.
+
+    Single-threaded by design: every request mutates the store from the
+    one event loop, so there is no locking and LRU order is total.  Use
+    :meth:`start_in_thread` from tests and benchmarks (returns the
+    bound port); the CLI runs :meth:`serve_forever` on the main thread.
+    """
+
+    def __init__(self, host="127.0.0.1", port=0,
+                 max_entries=DEFAULT_MAX_ENTRIES,
+                 max_bytes=DEFAULT_MAX_BYTES):
+        self.host = host
+        self.port = port
+        self.store = CacheStore(max_entries=max_entries,
+                                max_bytes=max_bytes)
+        self.connections = 0
+        self.protocol_errors = 0
+        self._server = None
+        self._loop = None
+        self._thread = None
+        self._started = threading.Event()
+
+    # -- request handling --------------------------------------------------
+
+    def _handle_request(self, payload):
+        op, args = protocol.decode_request(payload)
+        store = self.store
+        if op == protocol.OP_GET:
+            return protocol.encode_ok(
+                protocol.encode_found(store.get(args[0])))
+        if op == protocol.OP_MGET:
+            return protocol.encode_mget_response(
+                [store.get(key) for key in args[0]])
+        if op == protocol.OP_PUT:
+            key, value = args
+            return protocol.encode_count_response(
+                1 if store.put(key, value) else 0)
+        if op == protocol.OP_MPUT:
+            inserted = sum(1 for key, value in args[0]
+                           if store.put(key, value))
+            return protocol.encode_count_response(inserted)
+        if op == protocol.OP_STATS:
+            stats = dict(store.stats())
+            stats["connections"] = self.connections
+            stats["protocol_errors"] = self.protocol_errors
+            return protocol.encode_stats_response(stats)
+        # OP_SNAP — decode_request rejects anything else.
+        limit, max_value_len = args
+        return protocol.encode_snap_response(
+            store.snapshot(limit, max_value_len))
+
+    async def _serve_connection(self, reader, writer):
+        self.connections += 1
+        try:
+            while True:
+                prefix = await reader.read(4)
+                if not prefix:
+                    break
+                try:
+                    length = protocol.frame_length(prefix)
+                    payload = await reader.readexactly(length)
+                    response = self._handle_request(payload)
+                except (protocol.ProtocolError,
+                        asyncio.IncompleteReadError) as error:
+                    # A malformed client gets one diagnostic frame and
+                    # is disconnected; the store stays consistent.
+                    self.protocol_errors += 1
+                    try:
+                        writer.write(protocol.pack_frame(
+                            protocol.encode_err(str(error))))
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    break
+                writer.write(protocol.pack_frame(response))
+                await writer.drain()
+        except asyncio.CancelledError:
+            pass                       # server shutdown mid-connection
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        """Bind the listening socket (records the effective port)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started.set()
+        return self.port
+
+    async def serve_forever(self, announce=False):
+        """Start listening and block until the server is stopped."""
+        await self.start()
+        if announce:
+            print("repro cache-server listening on {}".format(self.address),
+                  flush=True)
+        async with self._server:
+            await self._server.serve_forever()
+
+    def run_blocking(self, announce=True):
+        """Bind, announce and serve on the calling thread (CLI path)."""
+        try:
+            asyncio.run(self.serve_forever(announce=announce))
+        except KeyboardInterrupt:
+            pass
+
+    @property
+    def address(self):
+        """``host:port`` once bound (the client's REPRO_REMOTE_CACHE)."""
+        return "{}:{}".format(self.host, self.port)
+
+    def start_in_thread(self):
+        """Run the server on a daemon thread; returns the bound port."""
+        if self._thread is not None:
+            return self.port
+
+        def run():
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self.serve_forever())
+            except asyncio.CancelledError:
+                pass
+            finally:
+                try:
+                    self._loop.run_until_complete(
+                        self._loop.shutdown_asyncgens())
+                finally:
+                    self._loop.close()
+
+        self._thread = threading.Thread(target=run, name="repro-cache-server",
+                                        daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("cache server failed to start")
+        return self.port
+
+    def stop(self):
+        """Stop a threaded server and join its loop (idempotent)."""
+        thread, loop = self._thread, self._loop
+        if thread is None or loop is None:
+            return
+
+        def cancel():
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+
+        try:
+            loop.call_soon_threadsafe(cancel)
+        except RuntimeError:
+            pass                       # loop already closed
+        thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+
+
+def main(argv=None):
+    """``repro cache-server`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache-server",
+        description="Run the loopback/remote evalcache server.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help="TCP port (0 picks a free one; default {})"
+                        .format(DEFAULT_PORT))
+    parser.add_argument("--max-entries", type=int,
+                        default=DEFAULT_MAX_ENTRIES,
+                        help="LRU entry bound (default {})".format(
+                            DEFAULT_MAX_ENTRIES))
+    parser.add_argument("--max-bytes", type=int, default=DEFAULT_MAX_BYTES,
+                        help="LRU byte bound over values (default {})"
+                        .format(DEFAULT_MAX_BYTES))
+    args = parser.parse_args(argv)
+    server = EvalCacheServer(host=args.host, port=args.port,
+                             max_entries=args.max_entries,
+                             max_bytes=args.max_bytes)
+    server.run_blocking()
+    return 0

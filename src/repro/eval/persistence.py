@@ -14,6 +14,7 @@ import json
 import os
 import pickle
 
+from ..dist.client import remote_cache
 from ..errors import ReproError
 from ..obs import ensure_observer
 
@@ -21,10 +22,27 @@ from ..obs import ensure_observer
 CACHE_ENV = "REPRO_CACHE"
 #: Overrides the cache directory (default ``./.repro_cache``).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: LRU byte bound over the cache directory (unset/0 = unbounded).
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 #: Bump when the pickled ``ExploredApplication`` layout changes; stale
 #: schema versions simply miss instead of unpickling garbage.
 _CACHE_SCHEMA = 2
+
+#: Remote-tier key prefix for exploration bundles, keeping them apart
+#: from the evalcache's scope-qualified cycle keys in the same server.
+_REMOTE_PREFIX = b"explored|"
+
+
+def _max_bytes_from_env():
+    text = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
+    if not text:
+        return None
+    try:
+        limit = int(text)
+    except ValueError:
+        return None
+    return limit if limit > 0 else None
 
 
 class ExplorationCache:
@@ -41,9 +59,22 @@ class ExplorationCache:
     entries are invalidated by their key: any change to the parameters
     (or to ``_CACHE_SCHEMA`` on layout changes) produces a different
     digest, and corrupt or unreadable files are treated as misses.
+
+    ``REPRO_CACHE_MAX_BYTES`` (or ``max_bytes=``) bounds the cache
+    directory: after every store, least-recently-*used* entries (file
+    mtime, refreshed on hit) are evicted until the directory fits the
+    budget again.  The entry just written is never its own victim, so
+    one oversized bundle still caches.
+
+    When the remote tier is configured (``REPRO_REMOTE_CACHE``) the
+    disk cache also writes bundles through to the cache server and
+    falls back to it on a local miss — a sweep shard can then serve
+    whole explorations another host already paid for.  Remote hits are
+    promoted onto the local disk; all remote traffic is best-effort.
     """
 
-    def __init__(self, directory=None, enabled=None, obs=None):
+    def __init__(self, directory=None, enabled=None, obs=None,
+                 max_bytes=None):
         if enabled is None:
             enabled = os.environ.get(CACHE_ENV, "1").strip().lower() \
                 not in ("0", "false", "no", "off")
@@ -51,6 +82,8 @@ class ExplorationCache:
             directory = os.environ.get(CACHE_DIR_ENV, ".repro_cache")
         self.directory = directory
         self.enabled = enabled
+        self.max_bytes = max_bytes if max_bytes is not None \
+            else _max_bytes_from_env()
         self.obs = ensure_observer(obs)
         # Always-on tallies: hit/miss/store counts were previously
         # invisible; they surface through ``stats`` and the
@@ -59,12 +92,18 @@ class ExplorationCache:
         self.misses = 0
         self.stores = 0
         self.stored_bytes = 0
+        self.evictions = 0
+        self.remote_hits = 0
+        self.remote_stores = 0
 
     @property
     def stats(self):
         """Hit/miss/store tallies of this cache instance."""
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "stored_bytes": self.stored_bytes}
+                "stores": self.stores, "stored_bytes": self.stored_bytes,
+                "evictions": self.evictions,
+                "remote_hits": self.remote_hits,
+                "remote_stores": self.remote_stores}
 
     @staticmethod
     def key(**fields):
@@ -83,29 +122,65 @@ class ExplorationCache:
         return os.path.join(self.directory, key + ".pkl")
 
     def load(self, key):
-        """The cached payload, or ``None`` on any kind of miss."""
+        """The cached payload, or ``None`` on any kind of miss.
+
+        Tier order: local disk first (a hit refreshes the file's LRU
+        recency), then the remote cache server when one is configured;
+        a remote hit is unpickled defensively, promoted onto the local
+        disk and served.
+        """
         if not self.enabled:
             return None
+        obs = self.obs
+        path = self.path_for(key)
         try:
-            with open(self.path_for(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
-            self.misses += 1
-            obs = self.obs
+            payload = None
+        if payload is not None:
+            self.hits += 1
+            try:
+                os.utime(path)         # LRU recency for the byte bound
+            except OSError:
+                pass
             if obs:
-                obs.count("cache.disk_miss")
-                obs.event("cache", op="load", status="miss", key=key)
+                obs.count("cache.disk_hit")
+                obs.event("cache", op="load", status="hit", key=key)
+            return payload
+        payload = self._load_remote(key)
+        if payload is not None:
+            return payload
+        self.misses += 1
+        if obs:
+            obs.count("cache.disk_miss")
+            obs.event("cache", op="load", status="miss", key=key)
+        return None
+
+    def _load_remote(self, key):
+        """Remote fallback: fetch, unpickle defensively, promote."""
+        remote = remote_cache()
+        if remote is None:
             return None
-        self.hits += 1
+        blob = remote.get_blob(_REMOTE_PREFIX + key.encode())
+        if blob is None:
+            return None
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
+            # A corrupt or stale-schema blob is a miss, never a crash.
+            return None
+        self.remote_hits += 1
         obs = self.obs
         if obs:
-            obs.count("cache.disk_hit")
-            obs.event("cache", op="load", status="hit", key=key)
+            obs.count("remote.disk_hit")
+            obs.event("cache", op="load", status="remote_hit", key=key)
+        self._write_file(key, blob)
         return payload
 
     def store(self, key, payload):
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically persist ``payload`` under ``key`` (all tiers)."""
         if not self.enabled:
             return
         self.stores += 1
@@ -113,19 +188,33 @@ class ExplorationCache:
         if obs:
             obs.count("cache.disk_store")
             obs.event("cache", op="store", status="store", key=key)
+        try:
+            blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return                     # unpicklable payloads never cache
+        self._write_file(key, blob, count_bytes=True)
+        remote = remote_cache()
+        if remote is not None and remote.put_blob(
+                _REMOTE_PREFIX + key.encode(), blob):
+            self.remote_stores += 1
+            if obs:
+                obs.count("remote.disk_store")
+
+    def _write_file(self, key, blob, count_bytes=False):
+        """Best-effort atomic write of one entry, then LRU eviction."""
         os.makedirs(self.directory, exist_ok=True)
         path = self.path_for(key)
         scratch = path + ".tmp.{}".format(os.getpid())
         try:
             with open(scratch, "wb") as handle:
-                pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
-            size = os.path.getsize(scratch)
+                handle.write(blob)
             os.replace(scratch, path)
-            # Sizing signal for the docs' cache-footprint guidance and
-            # the ``cache.disk_bytes`` counter.
-            self.stored_bytes += size
-            if obs:
-                obs.count("cache.disk_bytes", size)
+            if count_bytes:
+                # Sizing signal for the docs' cache-footprint guidance
+                # and the ``cache.disk_bytes`` counter.
+                self.stored_bytes += len(blob)
+                if self.obs:
+                    self.obs.count("cache.disk_bytes", len(blob))
         except OSError:
             # Caching is best-effort: an unwritable directory must not
             # fail the evaluation that produced the payload.
@@ -134,6 +223,43 @@ class ExplorationCache:
                     os.remove(scratch)
                 except OSError:
                     pass
+            return
+        self._evict_to_budget(keep=path)
+
+    def _evict_to_budget(self, keep):
+        """Drop least-recently-used entries until the budget fits."""
+        if self.max_bytes is None:
+            return
+        entries = []
+        try:
+            with os.scandir(self.directory) as scan:
+                for entry in scan:
+                    if not entry.name.endswith(".pkl"):
+                        continue
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size,
+                                    entry.path))
+        except OSError:
+            return
+        total = sum(size for __, size, ___ in entries)
+        keep = os.path.abspath(keep)
+        obs = self.obs
+        for __, size, path in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if os.path.abspath(path) == keep:
+                continue               # the fresh entry never self-evicts
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+            if obs:
+                obs.count("cache.disk_evictions")
 
 
 def candidate_record(candidate):

@@ -25,6 +25,7 @@ import os
 from ..baselines import greedy_explorer_factory, si_explorer_factory
 from ..config import ExplorationParams, ISEConstraints
 from ..core.flow import ISEDesignFlow
+from ..dist.client import remote_cache, remote_counters
 from ..errors import ReproError
 from ..obs import ensure_observer
 from ..sched.machine import MachineConfig
@@ -86,6 +87,9 @@ class EvalContext:
         # ``cache.memory_*`` metrics counters and close()'s summary.
         self.memory_hits = 0
         self.memory_misses = 0
+        # Remote-tier baseline: the client's tallies are process-wide,
+        # so this context's contribution is the delta since creation.
+        self._remote_baseline = remote_counters()
         self._closed = False
 
     # -- plumbing ---------------------------------------------------------
@@ -149,15 +153,26 @@ class EvalContext:
     # -- cache stats / teardown -------------------------------------------
 
     def cache_stats(self):
-        """Hit/miss tallies of both cache layers (memory + disk)."""
+        """Hit/miss tallies of every cache layer this context touched.
+
+        ``memory`` and ``disk`` are this context's own; ``remote_*``
+        fields are the process-wide client tallies *since this context
+        was created* (all zero when ``REPRO_REMOTE_CACHE`` is unset).
+        """
         disk = self.disk_cache
-        return {
+        stats = {
             "memory_hits": self.memory_hits,
             "memory_misses": self.memory_misses,
             "disk_hits": getattr(disk, "hits", 0),
             "disk_misses": getattr(disk, "misses", 0),
             "disk_stores": getattr(disk, "stores", 0),
+            "disk_evictions": getattr(disk, "evictions", 0),
         }
+        current = remote_counters()
+        for name in ("hits", "misses", "puts", "errors"):
+            stats["remote_" + name] = \
+                current[name] - self._remote_baseline[name]
+        return stats
 
     def close(self):
         """Log a cache summary and release the worker pool (idempotent).
@@ -165,6 +180,8 @@ class EvalContext:
         Tearing down the persistent :mod:`repro.core.pool` here unlinks
         its shared-memory segments (broadcast + shared evalcache) — the
         ``atexit`` hook only backstops contexts that are never closed.
+        A configured remote tier gets its insert log flushed and its
+        delta tallies recorded as ``remote.*`` counters.
         """
         if self._closed:
             return
@@ -172,12 +189,20 @@ class EvalContext:
         stats = self.cache_stats()
         logger.info(
             "EvalContext cache: memory %d hit(s) / %d miss(es), "
-            "disk %d hit(s) / %d miss(es) / %d store(s)",
+            "disk %d hit(s) / %d miss(es) / %d store(s), "
+            "remote %d hit(s) / %d miss(es)",
             stats["memory_hits"], stats["memory_misses"],
-            stats["disk_hits"], stats["disk_misses"], stats["disk_stores"])
+            stats["disk_hits"], stats["disk_misses"], stats["disk_stores"],
+            stats["remote_hits"], stats["remote_misses"])
         obs = self.obs
         if obs:
             obs.event("eval.cache_summary", **stats)
+            for name in ("hits", "misses", "puts", "errors"):
+                if stats["remote_" + name]:
+                    obs.count("remote." + name, stats["remote_" + name])
+        remote = remote_cache()
+        if remote is not None:
+            remote.flush()
         from ..core.pool import shutdown_pools
 
         shutdown_pools()

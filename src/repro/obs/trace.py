@@ -41,10 +41,13 @@ def summarize_trace(records):
     (per-block base/final cycles), ``rounds`` / ``iterations`` totals,
     ``p_end`` (first/last convergence floor seen), ``cache`` (hit /
     miss / store counts), ``evaluate`` (last flow.evaluate payload),
-    ``metrics`` (last registry snapshot, when the trace has one) and
+    ``metrics`` (last registry snapshot, when the trace has one),
     ``pool`` (the ``pool.*`` counters/gauges of that snapshot — worker
     pool dispatches, steals, broadcast bytes, occupancy — or ``None``
-    for serial runs).
+    for serial runs), ``remote`` (``remote.*`` counters of the remote
+    evalcache tier, or ``None`` when no server was configured) and
+    ``sweep`` (``sweep.*`` counters plus the last ``sweep.done``
+    payload, or ``None`` outside sweep runs).
     """
     kinds = {}
     blocks = []
@@ -55,6 +58,7 @@ def summarize_trace(records):
     evaluate = None
     metrics = None
     engine = None
+    sweep_done = None
     for record in records:
         kind = record.get("kind")
         kinds[kind] = kinds.get(kind, 0) + 1
@@ -88,12 +92,22 @@ def summarize_trace(records):
             evaluate = record
         elif kind == "metrics":
             metrics = record
-    pool = None
+        elif kind == "sweep.done":
+            sweep_done = record
+    pool = remote = sweep = None
     if metrics is not None:
-        pool = {name: value
-                for source in ("counters", "gauges")
-                for name, value in metrics.get(source, {}).items()
-                if name.startswith("pool.")} or None
+        def section(prefix):
+            return {name: value
+                    for source in ("counters", "gauges")
+                    for name, value in metrics.get(source, {}).items()
+                    if name.startswith(prefix)} or None
+
+        pool = section("pool.")
+        remote = section("remote.")
+        sweep = section("sweep.")
+    if sweep_done is not None:
+        sweep = dict(sweep or {})
+        sweep["done"] = sweep_done
     return {
         "events": len(records),
         "engine": engine,
@@ -106,6 +120,8 @@ def summarize_trace(records):
         "evaluate": evaluate,
         "metrics": metrics,
         "pool": pool,
+        "remote": remote,
+        "sweep": sweep,
     }
 
 
@@ -145,6 +161,28 @@ def render_summary(summary):
                 pool.get("pool.dispatches", 0), pool.get("pool.tasks", 0),
                 pool.get("pool.steals", 0),
                 pool.get("pool.broadcast_bytes", 0)))
+    remote = summary.get("remote")
+    if remote:
+        lines.append(
+            "remote cache: {} hit(s), {} miss(es), {} put(s), "
+            "{} error(s)".format(
+                remote.get("remote.hits", 0),
+                remote.get("remote.misses", 0),
+                remote.get("remote.puts", 0),
+                remote.get("remote.errors", 0)))
+    sweep = summary.get("sweep")
+    if sweep:
+        done = sweep.get("done") or {}
+        shard = ""
+        if done.get("shard_index") is not None:
+            shard = ", shard {}/{}".format(done["shard_index"],
+                                           done["shard_count"])
+        lines.append(
+            "sweep: {} cell(s) run / {} skipped, {} row(s){}".format(
+                sweep.get("sweep.cells_run", 0),
+                sweep.get("sweep.cells_skipped", 0),
+                sweep.get("sweep.rows", done.get("rows", 0)),
+                shard))
     evaluate = summary["evaluate"]
     if evaluate is not None:
         lines.append(
