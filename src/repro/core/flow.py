@@ -235,7 +235,8 @@ class ISEDesignFlow:
             if selected is not None:
                 schedule, __ = replace_and_schedule(
                     segment, selected, self.machine, self.technology,
-                    self.constraints, priority=self.priority)
+                    self.constraints, priority=self.priority,
+                    obs=self.obs)
             else:
                 segment_groups = groups if groups is not None else []
                 graph, units = contract_dfg(

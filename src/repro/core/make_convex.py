@@ -12,7 +12,7 @@ candidates.
 
 import networkx as nx
 
-from ..graph.analysis import input_values, is_convex, output_values
+from ..graph.analysis import input_values, io_counts, is_convex, output_values
 from ..graph.subgraph import hardware_components
 
 
@@ -91,8 +91,7 @@ def legalize_components(dfg, members, constraints):
         piece = set(queue.pop())
         if len(piece) < 2:
             continue
-        n_in = len(input_values(dfg, piece))
-        n_out = len(output_values(dfg, piece))
+        n_in, n_out = io_counts(dfg, piece)
         if n_in <= constraints.n_in and n_out <= constraints.n_out:
             legal.append(frozenset(piece))
             continue

@@ -9,7 +9,7 @@ differently on and off the critical path (case 4, using the Max_AEC
 slack window off-path).
 """
 
-from ..graph.analysis import input_values, is_convex, output_values
+from ..graph.analysis import io_counts, is_convex
 from .grouping import best_groups, hardware_grouping
 
 
@@ -76,9 +76,8 @@ def _hardware_merit(merit, dfg, analysis, group, best, params, constraints,
     # Case 3 — constraint violations damp but do not annihilate.
     shape = memo.get(("io", group.members))
     if shape is None:
-        shape = (len(input_values(dfg, group.members)),
-                 len(output_values(dfg, group.members)),
-                 is_convex(dfg, group.members))
+        n_in, n_out = io_counts(dfg, group.members)
+        shape = (n_in, n_out, is_convex(dfg, group.members))
         memo[("io", group.members)] = shape
     n_in, n_out, convex = shape
     violated = False

@@ -14,7 +14,8 @@ from ..sched.list_scheduler import list_schedule
 from ..sched.units import contract_dfg
 
 
-def plan_block_replacements(dfg, selected, constraints, technology=None):
+def plan_block_replacements(dfg, selected, constraints, technology=None,
+                            obs=None):
     """Choose disjoint pattern matches for one block.
 
     Parameters
@@ -28,6 +29,10 @@ def plan_block_replacements(dfg, selected, constraints, technology=None):
     technology:
         Needed only when ``constraints.max_ise_cycles`` is set (the
         pipestage-timing check on each realized match).
+    obs:
+        Optional :class:`~repro.obs.observer.Observer`; match
+        enumeration reports its pre-filter split through it (see
+        :func:`~repro.graph.subgraph.find_matches`).
 
     Returns a list of ``(members, option_of)`` groups ready for
     :func:`~repro.sched.units.contract_dfg`.
@@ -37,7 +42,7 @@ def plan_block_replacements(dfg, selected, constraints, technology=None):
         rep = entry.representative
         pattern = rep.pattern()
         option_by_opcode = _options_by_opcode(rep)
-        for members in find_matches(dfg, pattern, constraints):
+        for members in find_matches(dfg, pattern, constraints, obs=obs):
             chain = _chain_length(dfg, members)
             proposals.append((chain, len(members), members,
                               option_by_opcode))
@@ -135,10 +140,10 @@ def schedule_with_ises(dfg, groups, machine, technology,
 
 
 def replace_and_schedule(dfg, selected, machine, technology, constraints,
-                         priority="children"):
+                         priority="children", obs=None):
     """Full replacement of one block; returns ``(schedule, groups)``."""
     groups = plan_block_replacements(dfg, selected, constraints,
-                                     technology=technology)
+                                     technology=technology, obs=obs)
     schedule = schedule_with_ises(dfg, groups, machine, technology,
                                   priority=priority)
     return schedule, groups

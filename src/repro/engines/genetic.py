@@ -22,6 +22,7 @@ import random
 
 from ..errors import BudgetExhausted
 from ..baselines.greedy import _fringe
+from ..graph.bitset import bitset_view
 from ..core.candidate import ISECandidate
 from ..core.make_convex import legalize_components
 from .base import ExplorationResult, ExplorerEngine
@@ -109,8 +110,10 @@ class GeneticEngine(ExplorerEngine):
         memo = {}
         population = [self._seed_individual(dfg, eligible, rng)
                       for __ in range(POPULATION)]
+        whole = self._screen(dfg, population, memo)
         scored = [(self._fitness(dfg, one, fixed, best_cycles, memo,
-                                 io_tables), one)
+                                 io_tables, whole=whole.get(one, False)),
+                   one)
                   for one in population]
         for __ in range(generations):
             scored.sort(key=_rank)
@@ -124,8 +127,10 @@ class GeneticEngine(ExplorerEngine):
                 if not child:
                     child = self._seed_individual(dfg, eligible, rng)
                 children.append(child)
+            whole = self._screen(dfg, children, memo)
             scored = [(self._fitness(dfg, one, fixed, best_cycles, memo,
-                                     io_tables), one)
+                                     io_tables, whole=whole.get(one, False)),
+                       one)
                       for one in children]
         scored.sort(key=_rank)
         fitness, __ = scored[0]
@@ -146,17 +151,49 @@ class GeneticEngine(ExplorerEngine):
             members.add(rng.choice(frontier))
         return frozenset(members)
 
-    def _fitness(self, dfg, members, fixed, best_cycles, memo, io_tables):
+    def _screen(self, dfg, population, memo):
+        """Genotype -> True when it is already one legal connected
+        multi-op piece, decided for the whole generation in one batched
+        bitset call.
+
+        A True verdict means :func:`legalize_components` would hand the
+        genotype back unchanged (one connected component, convex,
+        port-legal, >=2 nodes), so :meth:`_fitness` can skip the repair
+        walk entirely.  Genotypes already memoised need no verdict, and
+        everything else (including when the kernel is disabled) takes
+        the full repair path — results are identical either way.
+        """
+        view = bitset_view(dfg)
+        if view is None:
+            return {}
+        fresh = []
+        seen = set()
+        for one in population:
+            if len(one) >= 2 and one not in memo and one not in seen:
+                seen.add(one)
+                fresh.append(one)
+        if not fresh:
+            return {}
+        legal = view.legal_rows(view.pack_rows(fresh), self.constraints)
+        return {one: bool(ok) and view.is_connected(one)
+                for one, ok in zip(fresh, legal)}
+
+    def _fitness(self, dfg, members, fixed, best_cycles, memo, io_tables,
+                 whole=False):
         """(saving, -area, candidate) of the best legal piece, or None.
 
         Memoised on the genotype so clones and elites re-score free
-        even before the evalcache is consulted.
+        even before the evalcache is consulted.  ``whole=True`` (from
+        :meth:`_screen`) certifies the genotype is its own single legal
+        piece, skipping the legalisation walk.
         """
         if members in memo:
             return memo[members]
         limit = self.constraints.max_ise_cycles
         best = None
-        for piece in legalize_components(dfg, members, self.constraints):
+        pieces = ([frozenset(members)] if whole
+                  else legalize_components(dfg, members, self.constraints))
+        for piece in pieces:
             candidate = ISECandidate(
                 dfg, piece, self._min_delay_options(dfg, piece),
                 self.technology, source="GA")

@@ -19,6 +19,7 @@ through the shared metered/cached evaluator and honours
 from ..errors import BudgetExhausted
 from ..baselines.greedy import _chain, _fringe
 from ..graph.analysis import is_legal
+from ..graph.bitset import bitset_view
 from ..core.candidate import ISECandidate
 from .base import ExplorationResult, ExplorerEngine
 
@@ -91,16 +92,30 @@ class GreedyEngine(ExplorerEngine):
         return best
 
     def _grow(self, dfg, seed, taken):
-        """Absorb legal fringe neighbours by collapsed-chain gain."""
+        """Absorb legal fringe neighbours by collapsed-chain gain.
+
+        The per-step legality filter over the grow frontier runs as one
+        batched bitset call when the kernel is enabled; candidates are
+        kept in fringe iteration order either way, so the strict ``>``
+        tie-break picks the same absorption as the scalar path.
+        """
         members = {seed}
+        view = bitset_view(dfg)
         while len(members) < self.max_size:
+            nodes = [node for node in _fringe(dfg, members)
+                     if node not in taken and dfg.op(node).groupable]
+            if view is not None and len(nodes) > 1:
+                trials = [members | {node} for node in nodes]
+                legal = view.legal_rows(view.pack_rows(trials),
+                                        self.constraints)
+                nodes = [node for node, ok in zip(nodes, legal) if ok]
+            else:
+                nodes = [node for node in nodes
+                         if is_legal(dfg, members | {node},
+                                     self.constraints)]
             best_next, best_gain = None, 0.0
-            for node in _fringe(dfg, members):
-                if node in taken or not dfg.op(node).groupable:
-                    continue
+            for node in nodes:
                 trial = members | {node}
-                if not is_legal(dfg, trial, self.constraints):
-                    continue
                 gain = (_chain(dfg, trial) - _chain(dfg, members))
                 # Prefer chain-lengthening absorptions; allow width-only
                 # growth at low priority.

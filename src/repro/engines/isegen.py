@@ -32,7 +32,8 @@ import networkx as nx
 
 from ..errors import BudgetExhausted
 from ..baselines.greedy import _chain, _fringe
-from ..graph.analysis import input_values, is_convex, output_values
+from ..graph.analysis import io_counts, is_convex
+from ..graph.bitset import bitset_view
 from ..core.candidate import ISECandidate
 from ..core.make_convex import legalize_components
 from .base import ExplorationResult, ExplorerEngine
@@ -151,6 +152,7 @@ class IsegenEngine(ExplorerEngine):
                             if uid in eligible_set and uid not in locked]
                 if not frontier:
                     break
+                self._score_frontier(dfg, working, frontier, quality)
                 move, move_quality = None, None
                 for uid in frontier:
                     trial = working ^ {uid}
@@ -174,6 +176,57 @@ class IsegenEngine(ExplorerEngine):
             best_set = set(working)
         return best_set, moves_used
 
+    def _score_frontier(self, dfg, working, frontier, memo):
+        """Pre-fill the quality memo for a whole toggle frontier.
+
+        Every trial's per-component port counts and convexity verdicts
+        run as ONE batched bitset call instead of a set walk per probe;
+        scores are then assembled with exactly :meth:`_quality`'s
+        arithmetic (same component order, same float summation), so the
+        memo contents are bit-identical to the scalar path's.  A no-op
+        when the kernel is disabled — the per-trial loop then computes
+        everything itself.
+        """
+        view = bitset_view(dfg)
+        if view is None:
+            return
+        pending = []          # (memo key, [(component, is_big)] in order)
+        big = []              # every >=2-node component, across trials
+        for uid in frontier:
+            key = frozenset(working ^ {uid})
+            if not key or key in memo:
+                continue
+            sub = dfg.graph.subgraph(key)
+            comps = [set(c) for c in nx.weakly_connected_components(sub)]
+            pending.append((key, comps))
+            big.extend(c for c in comps if len(c) >= 2)
+        if not big:
+            for key, comps in pending:
+                score = 0.0
+                for __ in comps:
+                    score -= 0.05
+                memo[key] = score
+            return
+        rows = view.pack_rows(big)
+        n_in, n_out = view.io_counts_rows(rows)
+        convex = view.convex_rows(rows)
+        k = 0
+        for key, comps in pending:
+            score = 0.0
+            for component in comps:
+                if len(component) < 2:
+                    score -= 0.05
+                    continue
+                gain = _chain(dfg, component) - 1.0
+                excess = max(0, int(n_in[k]) - self.constraints.n_in)
+                excess += max(0, int(n_out[k]) - self.constraints.n_out)
+                penalty = 0.75 * excess
+                if not convex[k]:
+                    penalty += 1.0
+                k += 1
+                score += gain - penalty
+            memo[key] = score
+
     def _quality(self, dfg, members, memo):
         """Cheap structural worth of a cut (memoised per round).
 
@@ -196,10 +249,9 @@ class IsegenEngine(ExplorerEngine):
                     score -= 0.05
                     continue
                 gain = _chain(dfg, component) - 1.0
-                excess = max(0, len(input_values(dfg, component))
-                             - self.constraints.n_in)
-                excess += max(0, len(output_values(dfg, component))
-                              - self.constraints.n_out)
+                n_in, n_out = io_counts(dfg, component)
+                excess = max(0, n_in - self.constraints.n_in)
+                excess += max(0, n_out - self.constraints.n_out)
                 penalty = 0.75 * excess
                 if not is_convex(dfg, component):
                     penalty += 1.0

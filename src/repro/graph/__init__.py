@@ -7,6 +7,7 @@ from .analysis import (
     check_candidate,
     critical_nodes,
     input_values,
+    io_counts,
     is_convex,
     is_legal,
     longest_path_cycles,
@@ -15,6 +16,8 @@ from .analysis import (
     slack,
     violates_memory_rule,
 )
+from .bitset import BitsetDFG, bitset_enabled, bitset_view
+from .fuzz import random_dfg
 from .subgraph import (
     contains_pattern,
     find_matches,
@@ -27,8 +30,11 @@ from .export import candidate_to_dot, dfg_to_dot, schedule_to_gantt
 
 __all__ = [
     "DFG",
+    "BitsetDFG",
     "alap_schedule",
     "asap_schedule",
+    "bitset_enabled",
+    "bitset_view",
     "build_dfg",
     "candidate_to_dot",
     "check_candidate",
@@ -40,11 +46,13 @@ __all__ = [
     "grown_group",
     "hardware_components",
     "input_values",
+    "io_counts",
     "is_convex",
     "is_legal",
     "longest_path_cycles",
     "output_values",
     "pattern_graph",
+    "random_dfg",
     "same_pattern",
     "schedule_length",
     "slack",

@@ -8,6 +8,7 @@ observe) and the timing quantities the merit function consumes
 import networkx as nx
 
 from ..errors import ConstraintError
+from .bitset import bitset_view
 
 
 # -- §4.2: IN(S) / OUT(S) ----------------------------------------------------
@@ -225,12 +226,38 @@ class SubgraphIOTracker:
         return other
 
 
+def io_counts(dfg, members):
+    """``(|IN(S)|, |OUT(S)|)`` port counts of a membership set.
+
+    The size-only form of :func:`input_values`/:func:`output_values`:
+    callers that never look at the value *names* (constraint checks,
+    merit shaping, legalisation) go through the packed bitset kernel
+    when it is enabled and fall back to the set-based reference
+    otherwise — the counts are identical either way.
+    """
+    view = bitset_view(dfg)
+    if view is not None:
+        return view.io_counts(members)
+    return (len(input_values(dfg, members)),
+            len(output_values(dfg, members)))
+
+
 def is_convex(dfg, members):
     """§4.2 convexity: no path between two members leaves the subgraph.
 
     Equivalent check: no non-member node is simultaneously reachable
-    *from* a member and an ancestor *of* a member.
+    *from* a member and an ancestor *of* a member.  Dispatches to the
+    packed closure-row kernel (:mod:`repro.graph.bitset`) when enabled;
+    :func:`is_convex_reference` is the set-based oracle.
     """
+    view = bitset_view(dfg)
+    if view is not None:
+        return view.is_convex(members)
+    return is_convex_reference(dfg, members)
+
+
+def is_convex_reference(dfg, members):
+    """Set-based reference convexity check (the bitset kernel's oracle)."""
     members = set(members)
     if len(members) <= 1:
         return True
@@ -257,7 +284,21 @@ def violates_memory_rule(dfg, members):
 
 
 def check_candidate(dfg, members, constraints):
-    """Raise :class:`~repro.errors.ConstraintError` when S is illegal."""
+    """Raise :class:`~repro.errors.ConstraintError` when S is illegal.
+
+    Dispatches to the packed kernel when enabled — same check order,
+    same error messages; :func:`check_candidate_reference` stays as the
+    set-based oracle.
+    """
+    view = bitset_view(dfg)
+    if view is not None:
+        view.check_candidate(members, constraints)
+        return
+    check_candidate_reference(dfg, members, constraints)
+
+
+def check_candidate_reference(dfg, members, constraints):
+    """Set-based reference legality check (the bitset kernel's oracle)."""
     if not members:
         raise ConstraintError("empty candidate")
     if violates_memory_rule(dfg, members):
@@ -272,14 +313,22 @@ def check_candidate(dfg, members, constraints):
     if n_out > constraints.n_out:
         raise ConstraintError(
             "OUT(S)={} exceeds Nout={}".format(n_out, constraints.n_out))
-    if not is_convex(dfg, members):
+    if not is_convex_reference(dfg, members):
         raise ConstraintError("candidate is not convex")
 
 
 def is_legal(dfg, members, constraints):
     """Boolean form of :func:`check_candidate`."""
+    view = bitset_view(dfg)
+    if view is not None:
+        return view.is_legal(members, constraints)
+    return is_legal_reference(dfg, members, constraints)
+
+
+def is_legal_reference(dfg, members, constraints):
+    """Boolean form of :func:`check_candidate_reference` (the oracle)."""
     try:
-        check_candidate(dfg, members, constraints)
+        check_candidate_reference(dfg, members, constraints)
     except ConstraintError:
         return False
     return True
@@ -302,14 +351,19 @@ def asap_schedule(dfg, latency_of):
     return start
 
 
-def alap_schedule(dfg, latency_of, horizon=None):
+def alap_schedule(dfg, latency_of, horizon=None, asap=None):
     """Unconstrained as-late-as-possible start cycles.
 
     ``horizon`` is the schedule length in cycles; defaults to the ASAP
-    makespan so that critical operations get zero slack.
+    makespan so that critical operations get zero slack.  The ASAP
+    schedule is only needed to derive that default — an explicit
+    ``horizon`` skips it entirely, and a caller that already holds the
+    ASAP dict can thread it through via ``asap`` instead of having it
+    recomputed.
     """
-    asap = asap_schedule(dfg, latency_of)
     if horizon is None:
+        if asap is None:
+            asap = asap_schedule(dfg, latency_of)
         horizon = schedule_length(dfg, asap, latency_of)
     start = {}
     for uid in reversed(list(nx.topological_sort(dfg.graph))):
@@ -328,9 +382,13 @@ def schedule_length(dfg, start, latency_of):
 
 
 def slack(dfg, latency_of, horizon=None):
-    """Per-node slack = ALAP − ASAP start cycle."""
+    """Per-node slack = ALAP − ASAP start cycle.
+
+    ASAP is computed once and threaded into :func:`alap_schedule`
+    (which previously recomputed it to derive the default horizon).
+    """
     asap = asap_schedule(dfg, latency_of)
-    alap = alap_schedule(dfg, latency_of, horizon=horizon)
+    alap = alap_schedule(dfg, latency_of, horizon=horizon, asap=asap)
     return {uid: alap[uid] - asap[uid] for uid in asap}
 
 

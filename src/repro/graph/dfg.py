@@ -41,11 +41,21 @@ class DFG:
         # the networkx adjacency views are snapshotted into plain tuples
         # (same iteration order) on first use and dropped on mutation.
         self._adj = None
+        # Packed-bitset legality view (repro.graph.bitset), built
+        # lazily on first legality query, dropped on mutation and
+        # excluded from pickles (pool workers rebuild their own).
+        self._bitset = None
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_bitset"] = None
+        return state
 
     def __setstate__(self, state):
-        # Pickles predating the adjacency cache lack ``_adj``.
+        # Pickles predating the adjacency/bitset caches lack the slots.
         self.__dict__.update(state)
         self.__dict__.setdefault("_adj", None)
+        self.__dict__.setdefault("_bitset", None)
 
     def _adjacency(self):
         adj = self._adj
@@ -79,6 +89,7 @@ class DFG:
         self.graph.add_node(operation.uid, op=operation)
         self._ext_inputs[operation.uid] = list(ext_inputs)
         self._adj = None
+        self._bitset = None
         return operation.uid
 
     def add_data_edge(self, src, dst, value):
@@ -91,12 +102,14 @@ class DFG:
         else:
             self.graph.add_edge(src, dst, kind="data", values={value})
         self._adj = None
+        self._bitset = None
 
     def add_order_edge(self, src, dst):
         """Add a memory-ordering edge (no value carried)."""
         if not self.graph.has_edge(src, dst):
             self.graph.add_edge(src, dst, kind="order", values=set())
             self._adj = None
+            self._bitset = None
 
     def op(self, uid):
         """The :class:`Operation` at node ``uid``."""

@@ -1,0 +1,134 @@
+"""Seeded random-DFG generation for property-based testing.
+
+First slice of the workload-fleet fuzz harness (ROADMAP item 3c): a
+deterministic generator of structurally valid basic-block DFGs that
+mirrors :func:`~repro.graph.dfg.build_dfg`'s lowering rules —
+
+* uids are program order, every dependence edge points forward,
+* a source name reads the *latest* earlier definition (data edge) or
+  counts as an external block input when nothing defined it yet,
+* destination names are drawn from a small pool, so names get redefined
+  and become **multi-producer** (the DFG is not SSA) — exactly the case
+  the IN/OUT contribution counting must survive,
+* loads/stores receive the same store→load/store→store/load→store
+  ordering edges the real lowering emits,
+* a random subset of final producers is marked live-out.
+
+Everything derives from one ``random.Random(seed)`` stream, so any
+failing block reproduces from its seed alone.
+"""
+
+import random
+
+from ..isa.instruction import Operation
+from .dfg import DFG
+
+#: Groupable two-source ALU/shift opcodes the generator draws from.
+_ALU_OPS = ("addu", "subu", "and", "or", "xor", "nor", "sltu", "sllv")
+#: Non-groupable, non-memory opcode (exercises the groupability rule).
+_MOVE_OP = "move"
+
+
+def random_dfg(seed, n_nodes=32, n_values=None, p_memory=0.08,
+               p_move=0.05, p_external=0.35, p_output=0.3):
+    """One structurally valid random DFG, fully determined by ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private ``random.Random`` stream.
+    n_nodes:
+        Operations in the block.
+    n_values:
+        Size of the destination-name pool; smaller pools mean more
+        redefinitions (multi-producer names).  Defaults to
+        ``max(4, n_nodes // 3)``.
+    p_memory / p_move:
+        Per-node probability of drawing a load/store or a
+        non-groupable ``move`` instead of a groupable ALU op.
+    p_external:
+        Per-source probability of reading a fresh external name even
+        when in-block definitions exist.
+    p_output:
+        Per-final-producer probability of being marked live-out.
+    """
+    rng = random.Random(seed)
+    if n_values is None:
+        n_values = max(4, n_nodes // 3)
+    pool = ["v{}".format(i) for i in range(n_values)]
+    dfg = DFG(label="fuzz", function="fuzz_{}".format(seed))
+    last_def = {}
+    last_store = None
+    loads_since_store = []
+
+    def draw_source():
+        defined = sorted(last_def)
+        if not defined or rng.random() < p_external:
+            return rng.choice(pool + ["x{}".format(i) for i in range(4)])
+        return rng.choice(defined)
+
+    for uid in range(n_nodes):
+        roll = rng.random()
+        if roll < p_memory:
+            name = rng.choice(("lw", "sw"))
+        elif roll < p_memory + p_move:
+            name = _MOVE_OP
+        else:
+            name = rng.choice(_ALU_OPS)
+        if name == "sw":
+            sources = (draw_source(), draw_source())
+            dests = ()
+        elif name in ("lw", _MOVE_OP):
+            sources = (draw_source(),)
+            dests = (rng.choice(pool),)
+        else:
+            sources = (draw_source(), draw_source())
+            dests = (rng.choice(pool),)
+        operation = Operation(uid, name, sources=sources, dests=dests)
+        ext = [value for value in sources if value not in last_def]
+        dfg.add_operation(operation, ext_inputs=ext)
+        for value in sources:
+            if value in last_def:
+                dfg.add_data_edge(last_def[value], uid, value)
+        if name == "lw":
+            if last_store is not None:
+                dfg.add_order_edge(last_store, uid)
+            loads_since_store.append(uid)
+        elif name == "sw":
+            if last_store is not None:
+                dfg.add_order_edge(last_store, uid)
+            for load in loads_since_store:
+                dfg.add_order_edge(load, uid)
+            last_store = uid
+            loads_since_store = []
+        for value in dests:
+            last_def[value] = uid
+    for value in sorted(last_def):
+        if rng.random() < p_output:
+            dfg.output_nodes.add(last_def[value])
+    dfg.producer_of = dict(last_def)
+    return dfg
+
+
+def random_members(rng, dfg, max_size=10, p_connected=0.6):
+    """One random candidate node set over ``dfg``.
+
+    Mixes connected cones (grown through DFG neighbours — the shape
+    search engines probe) with uniform scatters (the shape that
+    exercises multi-component and wildly illegal candidates).
+    """
+    nodes = dfg.nodes
+    if not nodes:
+        return frozenset()
+    size = rng.randint(1, min(max_size, len(nodes)))
+    if rng.random() < p_connected:
+        members = {rng.choice(nodes)}
+        while len(members) < size:
+            frontier = sorted(
+                {other for uid in members for other in dfg.neighbours(uid)}
+                - members)
+            if not frontier:
+                break
+            members.add(rng.choice(frontier))
+        return frozenset(members)
+    return frozenset(rng.sample(nodes, size))

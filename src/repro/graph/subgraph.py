@@ -91,7 +91,7 @@ def same_pattern(a, b):
 
 
 def find_matches(dfg, pattern, constraints=None, exclude=frozenset(),
-                 max_mappings=5000, max_matches=256):
+                 max_mappings=5000, max_matches=256, obs=None):
     """Occurrences of ``pattern`` in ``dfg`` as sets of node uids.
 
     Matches never use nodes in ``exclude`` (already replaced), always
@@ -102,8 +102,15 @@ def find_matches(dfg, pattern, constraints=None, exclude=frozenset(),
     Unrolled blocks contain combinatorially many monomorphisms of the
     same node sets, so enumeration is capped by ``max_mappings`` raw
     mappings / ``max_matches`` distinct member sets.
+
+    With the packed bitset kernel enabled, each mapping first meets the
+    cheap masked pre-filter (port counts against the precomputed value
+    tables); only survivors reach the convexity stage.  ``obs`` counts
+    the split: ``match.prefilter_rejected`` mappings died in the
+    pre-filter, ``match.legality_checked`` went the distance.
     """
     from .analysis import is_legal
+    from .bitset import bitset_view
 
     eligible = sorted(uid for uid in dfg.nodes
                       if dfg.op(uid).groupable and uid not in exclude)
@@ -112,6 +119,7 @@ def find_matches(dfg, pattern, constraints=None, exclude=frozenset(),
     matcher = isomorphism.DiGraphMatcher(
         host, pattern,
         node_match=lambda a, b: a["opcode"] == b["opcode"])
+    view = bitset_view(dfg) if constraints is not None else None
     seen = set()
     matches = []
     for count, mapping in enumerate(matcher.subgraph_monomorphisms_iter()):
@@ -121,7 +129,20 @@ def find_matches(dfg, pattern, constraints=None, exclude=frozenset(),
         if members in seen:
             continue
         seen.add(members)
-        if constraints is not None and not is_legal(dfg, members, constraints):
-            continue
+        if constraints is not None:
+            if view is not None:
+                verdict = view.classify_match(members, constraints)
+                if obs:
+                    if verdict == "cheap":
+                        obs.count("match.prefilter_rejected")
+                    else:
+                        obs.count("match.legality_checked")
+                if verdict != "legal":
+                    continue
+            else:
+                if obs:
+                    obs.count("match.legality_checked")
+                if not is_legal(dfg, members, constraints):
+                    continue
         matches.append(set(members))
     return matches

@@ -181,6 +181,38 @@ class TestTiming:
         # The short side chain is not.
         assert 2 not in crit and 4 not in crit
 
+    def _count_asap(self, monkeypatch):
+        from repro.graph import analysis
+        calls = []
+        original = analysis.asap_schedule
+
+        def counted(dfg, latency_of):
+            calls.append(dfg)
+            return original(dfg, latency_of)
+
+        monkeypatch.setattr(analysis, "asap_schedule", counted)
+        return calls
+
+    def test_alap_with_horizon_skips_asap(self, monkeypatch):
+        calls = self._count_asap(monkeypatch)
+        alap_schedule(diamond_dfg(), UNIT, horizon=9)
+        assert len(calls) == 0
+
+    def test_alap_reuses_threaded_asap(self, monkeypatch):
+        from repro.graph import analysis
+        dfg = diamond_dfg()
+        asap = asap_schedule(dfg, UNIT)
+        calls = self._count_asap(monkeypatch)
+        threaded = analysis.alap_schedule(dfg, UNIT, asap=asap)
+        assert len(calls) == 0
+        assert threaded == alap_schedule(dfg, UNIT)
+
+    def test_slack_computes_asap_once(self, monkeypatch):
+        from repro.graph import analysis
+        calls = self._count_asap(monkeypatch)
+        analysis.slack(diamond_dfg(), UNIT)
+        assert len(calls) == 1
+
     def test_longest_path_cycles(self):
         assert longest_path_cycles(chain_dfg(5), UNIT) == 5
 
