@@ -51,9 +51,12 @@ from . import engines
 from .api import (
     ExploreResult,
     SelectionResult,
+    ServiceClient,
+    ServiceError,
     evaluate,
     explore,
     list_engines,
+    serve,
     shutdown_pools,
     sweep,
 )
@@ -83,6 +86,8 @@ __all__ = [
     "ProgressSink",
     "ReproError",
     "SelectionResult",
+    "ServiceClient",
+    "ServiceError",
     "SingleIssueExplorer",
     "SweepResult",
     "SweepRow",
@@ -95,6 +100,7 @@ __all__ = [
     "list_engines",
     "merge_sweeps",
     "paper_machines",
+    "serve",
     "shutdown_pools",
     "sweep",
     "workload_names",

@@ -44,6 +44,7 @@ from .errors import ReproError
 from .eval.runner import PROFILES
 from .obs import NULL_OBSERVER, JsonlSink, Observer
 from .sched.machine import PAPER_CASES, MachineConfig
+from .serve.client import ServiceClient, ServiceError  # noqa: F401  (re-export)
 from .workloads import get_workload
 
 
@@ -254,6 +255,33 @@ def evaluate(source, *, max_area=None, max_ises=None, enable_sharing=True,
         ises=tuple(entry.representative.describe()
                    for entry in report.selection.selected),
         metrics=metrics, report=report)
+
+
+def serve(host="127.0.0.1", port=0, *, max_inflight=8,
+          request_timeout=None, threaded=True):
+    """Start the exploration service daemon (``repro serve``).
+
+    ``threaded=True`` (the default) runs the server on a daemon thread
+    and returns the started :class:`~repro.serve.server.ExploreServer`
+    — connect a :class:`ServiceClient` to ``server.address`` and call
+    ``server.stop()`` when done.  ``threaded=False`` serves on the
+    calling thread until interrupted (the CLI path).
+
+    Every served response is bit-identical to the one-shot
+    :func:`explore` / :func:`evaluate` / :func:`sweep` call carrying
+    the same request; see docs/SERVICE.md for the wire format, scope
+    multiplexing and quota semantics.
+    """
+    from .serve.server import ExploreServer
+
+    server = ExploreServer(host=host, port=port,
+                           max_inflight=max_inflight,
+                           request_timeout=request_timeout)
+    if threaded:
+        server.start_in_thread()
+    else:
+        server.run_blocking()
+    return server
 
 
 def sweep(workloads, *, machines=None, budgets=None, opt="O3",

@@ -27,6 +27,10 @@ Commands
 ``cache-server``
     Run the remote evalcache server that sweep shards share via
     ``REPRO_REMOTE_CACHE=host:port``.
+``serve``
+    Run the exploration service daemon: concurrent clients share one
+    process's warm pool, per-scope batching and exploration memo (see
+    docs/SERVICE.md; talk to it with ``repro.api.ServiceClient``).
 
 ``explore`` and ``selftest`` accept ``--trace PATH`` (stream a JSON-lines
 event trace), ``--metrics`` (print the counters/timers registry after the
@@ -354,6 +358,16 @@ def _cmd_cache_server(args):
     return 0
 
 
+def _cmd_serve(args):
+    from .serve.server import ExploreServer
+
+    server = ExploreServer(host=args.host, port=args.port,
+                           max_inflight=args.max_inflight,
+                           request_timeout=args.timeout)
+    server.run_blocking()
+    return 0
+
+
 def _cmd_dot(args):
     workload = get_workload(args.workload)
     program, run_args = workload.build()
@@ -479,6 +493,29 @@ def build_parser():
         help="LRU byte bound over values (default {})".format(
             DEFAULT_MAX_BYTES))
     cache_server.set_defaults(func=_cmd_cache_server)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the exploration service daemon (see docs/SERVICE.md)")
+    from .serve.server import (
+        DEFAULT_MAX_INFLIGHT,
+        DEFAULT_PORT as SERVE_DEFAULT_PORT,
+    )
+
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=SERVE_DEFAULT_PORT,
+        help="TCP port (0 picks a free one; default {})".format(
+            SERVE_DEFAULT_PORT))
+    serve.add_argument(
+        "--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT,
+        help="per-connection in-flight request quota (default "
+             "{})".format(DEFAULT_MAX_INFLIGHT))
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="server-side per-request timeout in seconds "
+             "(default: none)")
+    serve.set_defaults(func=_cmd_serve)
 
     dot = sub.add_parser("dot", help="DOT of the hottest block + ISEs")
     dot.add_argument("workload")

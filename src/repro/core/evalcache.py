@@ -81,6 +81,20 @@ def evalcache_enabled():
     return os.environ.get(EVALCACHE_ENV, "1").strip().lower() not in _FALSY
 
 
+def eval_scope(machine, technology):
+    """The canonical scope string of one (machine, technology) pair.
+
+    Every shared-tier key (shm table, remote server) and every serve
+    session lane is qualified by this exact string, so "same scope"
+    means the same thing across all of them: a 2-issue cycle count can
+    never answer a 4-issue probe, and the exploration service batches
+    only requests whose evaluations are interchangeable.
+    """
+    return "{}is|{}|{}|{!r}".format(
+        machine.issue_width, machine.register_file.spec,
+        sorted(machine.fu_counts.items()), technology)
+
+
 def dfg_fingerprint(dfg):
     """Structural digest of a DFG, computed once and cached on it.
 

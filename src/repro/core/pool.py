@@ -45,6 +45,7 @@ import atexit
 import hashlib
 import os
 import pickle
+import threading
 import multiprocessing
 from multiprocessing import connection as mp_connection
 from multiprocessing import shared_memory
@@ -338,6 +339,8 @@ class WorkerPool:
             raise ReproError("a worker pool needs at least one worker")
         self.workers = workers
         self.broken = False
+        self._down = False
+        self._down_lock = threading.Lock()
         self._owner_pid = os.getpid()
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
@@ -533,9 +536,18 @@ class WorkerPool:
         self.broken = True
 
     def shutdown(self):
-        """Stop the workers and unlink every shared segment."""
+        """Stop the workers and unlink every shared segment.
+
+        Idempotent and safe to call from several threads (a server's
+        lifecycle teardown can race the ``atexit`` fallback): only the
+        first call does the work, later ones return immediately.
+        """
         if os.getpid() != self._owner_pid:
             return                     # forked child at exit: not ours
+        with self._down_lock:
+            if self._down:
+                return
+            self._down = True
         for conn in self._conns:
             try:
                 conn.send(("stop",))
@@ -558,8 +570,49 @@ class WorkerPool:
 
 
 # -- the process-wide persistent pool --------------------------------------
+#
+# The pool predates the exploration service, whose scope lanes dispatch
+# from several threads at once and whose stop path races the atexit
+# fallback.  Two locks make that safe without changing the serial CLI
+# path: _DISPATCH_LOCK serialises whole dispatches (one broadcast owns
+# the claim array and the worker pipes at a time, and a teardown can
+# never interleave with an in-flight dispatch — it waits), _STATE_LOCK
+# guards creation/replacement of the singleton.  _DISPATCH_LOCK is
+# always taken first, so there is one lock order and no deadlock.
 
 _POOL = None
+_STATE_LOCK = threading.RLock()
+_DISPATCH_LOCK = threading.RLock()
+_DISPATCH_HOOKS = []
+
+
+def add_dispatch_hook(hook):
+    """Register ``hook(phase, info)`` around every pooled dispatch.
+
+    ``phase`` is ``"start"`` or ``"end"``; ``info`` is a small dict
+    (``tasks``, ``jobs``, and on ``"end"`` ``ok``).  The exploration
+    service uses this hand-off to stream pool activity to subscribed
+    clients and to drain gracefully before teardown.  Hooks must be
+    cheap and must not dispatch; exceptions are swallowed — a broken
+    observer must never fail the exploration it watches.
+    """
+    _DISPATCH_HOOKS.append(hook)
+
+
+def remove_dispatch_hook(hook):
+    """Unregister a hook added by :func:`add_dispatch_hook`."""
+    try:
+        _DISPATCH_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+def _fire_dispatch_hooks(phase, info):
+    for hook in list(_DISPATCH_HOOKS):
+        try:
+            hook(phase, info)
+        except Exception:
+            pass
 
 
 def active_pool():
@@ -574,44 +627,70 @@ def get_pool(jobs):
     the old one so accumulated evaluations survive the resize.
     """
     global _POOL
-    seed_rows = None
-    if _POOL is not None and (_POOL.broken or _POOL.workers < jobs):
-        if not _POOL.broken:
-            seed_rows = _POOL.cache.snapshot_rows()
-        _POOL.shutdown()
-        _POOL = None
-    if _POOL is None:
-        _POOL = WorkerPool(jobs, cache_rows=seed_rows)
-    return _POOL
+    with _STATE_LOCK:
+        seed_rows = None
+        if _POOL is not None and (_POOL.broken or _POOL.workers < jobs):
+            if not _POOL.broken:
+                seed_rows = _POOL.cache.snapshot_rows()
+            _POOL.shutdown()
+            _POOL = None
+        if _POOL is None:
+            _POOL = WorkerPool(jobs, cache_rows=seed_rows)
+        return _POOL
 
 
 def dispatch(function, tasks, jobs, obs=None, costs=None):
-    """Pool-backed ordered map (the ``parallel_map`` fan-out path)."""
-    if pool_persist_enabled():
-        return get_pool(jobs).run(function, tasks, jobs=jobs, obs=obs,
-                                  costs=costs)
-    pool = WorkerPool(jobs)
-    try:
-        return pool.run(function, tasks, jobs=jobs, obs=obs, costs=costs)
-    finally:
-        pool.shutdown()
+    """Pool-backed ordered map (the ``parallel_map`` fan-out path).
+
+    Thread-safe: concurrent callers (the service's scope lanes) are
+    serialised on :data:`_DISPATCH_LOCK`, so each dispatch owns the
+    claim array and worker pipes exclusively.  Results are unaffected
+    by the serialisation — they were bit-identical to serial already.
+    """
+    info = {"tasks": len(tasks), "jobs": jobs}
+    with _DISPATCH_LOCK:
+        _fire_dispatch_hooks("start", info)
+        ok = False
+        try:
+            if pool_persist_enabled():
+                results = get_pool(jobs).run(function, tasks, jobs=jobs,
+                                             obs=obs, costs=costs)
+            else:
+                pool = WorkerPool(jobs)
+                try:
+                    results = pool.run(function, tasks, jobs=jobs, obs=obs,
+                                       costs=costs)
+                finally:
+                    pool.shutdown()
+            ok = True
+            return results
+        finally:
+            _fire_dispatch_hooks("end", dict(info, ok=ok))
 
 
 def shutdown_pools():
     """Tear down the persistent pool and unlink its shared segments.
 
-    Idempotent; wired into ``EvalContext.close()`` and registered as an
-    ``atexit`` fallback so segments never outlive the process — even
-    when a run is interrupted.
+    Idempotent and ordering-safe: concurrent callers (a server's stop
+    path racing the ``atexit`` fallback, or an ``EvalContext.close()``
+    racing either) serialise behind the dispatch lock, so teardown
+    never interleaves with an in-flight dispatch — it waits for the
+    dispatch to finish, then tears down; a dispatch that starts *after*
+    the teardown simply recreates the pool.  Wired into
+    ``EvalContext.close()`` and registered as an ``atexit`` fallback so
+    segments never outlive the process — even when a run is
+    interrupted.
     """
     global _POOL
-    pool = _POOL
-    _POOL = None
-    if pool is not None:
-        pool.shutdown()
-    remote = remote_cache()
-    if remote is not None:
-        remote.flush()
+    with _DISPATCH_LOCK:
+        with _STATE_LOCK:
+            pool = _POOL
+            _POOL = None
+        if pool is not None:
+            pool.shutdown()
+        remote = remote_cache()
+        if remote is not None:
+            remote.flush()
 
 
 atexit.register(shutdown_pools)

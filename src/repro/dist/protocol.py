@@ -37,8 +37,28 @@ truncated body, an unknown op — raises :class:`ProtocolError`; the
 server answers ``ERR`` and drops the connection, the client counts an
 error and trips its circuit breaker.  Neither side ever crashes the
 exploration that is using the cache.
+
+The serve extension
+-------------------
+The exploration service (:mod:`repro.serve`) rides the same framing
+discipline with one additional request op and one additional response
+tag, so both servers share the length-prefix/oversize/truncation
+validation above:
+
+``SERVE``  request  ``!Q request_id | !I len | utf-8 JSON object``
+``OK``     response ``!Q request_id | !I len | utf-8 JSON object``
+``ERR``    response ``!Q request_id | !I len | utf-8 JSON object``
+``EVENT``  response ``!Q request_id | !I len | utf-8 JSON object``
+
+``request_id`` is chosen by the client and echoed on every response,
+so one connection can multiplex any number of in-flight requests; the
+``EVENT`` tag streams observability records (framed JSONL) for a
+request that is still running.  The JSON body must decode to an
+object; anything else is a :class:`ProtocolError` exactly like a
+malformed cache frame.
 """
 
+import json
 import struct
 
 from ..errors import ReproError
@@ -55,12 +75,15 @@ OP_PUT = b"P"
 OP_MPUT = b"B"
 OP_STATS = b"S"
 OP_SNAP = b"N"
+OP_SERVE = b"Q"
 
 # Response status tags.
 STATUS_OK = b"K"
 STATUS_ERR = b"E"
+STATUS_EVENT = b"V"
 
 _U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
 _I64 = struct.Struct("!q")
 
 
@@ -321,3 +344,83 @@ def decode_snap_response(payload):
              for __ in range(reader.u32())]
     reader.done()
     return pairs
+
+
+# -- the serve extension -----------------------------------------------------
+
+def _json_chunk(body):
+    try:
+        text = json.dumps(body, sort_keys=True)
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(
+            "serve body is not JSON-able: {}".format(error)) from None
+    return _chunk(text.encode("utf-8"))
+
+
+def _read_json(reader):
+    raw = reader.chunk()
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise ProtocolError("malformed serve JSON body") from None
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            "serve body must be a JSON object, got {}".format(
+                type(body).__name__))
+    return body
+
+
+def encode_serve_request(request_id, body):
+    """Serve request payload: op byte, client request id, JSON body."""
+    return OP_SERVE + _U64.pack(request_id) + _json_chunk(body)
+
+
+def decode_serve_request(payload):
+    """``(request_id, body)`` of one serve request (server side)."""
+    if not payload:
+        raise ProtocolError("empty request frame")
+    if payload[:1] != OP_SERVE:
+        raise ProtocolError(
+            "unknown request op {!r}".format(payload[:1]))
+    reader = _Reader(payload[1:])
+    request_id = _U64.unpack(reader.take(8))[0]
+    body = _read_json(reader)
+    reader.done()
+    return request_id, body
+
+
+def encode_serve_ok(request_id, body):
+    """Success response for one serve request."""
+    return STATUS_OK + _U64.pack(request_id) + _json_chunk(body)
+
+
+def encode_serve_err(request_id, message, code="error"):
+    """Structured error response (``code`` is machine-matchable)."""
+    return STATUS_ERR + _U64.pack(request_id) + _json_chunk(
+        {"error": str(message), "code": code})
+
+
+def encode_serve_event(request_id, record):
+    """One streamed observability record for a running request."""
+    return STATUS_EVENT + _U64.pack(request_id) + _json_chunk(record)
+
+
+def decode_serve_response(payload):
+    """``(kind, request_id, body)`` of one serve response (client side).
+
+    ``kind`` is ``"ok"``, ``"err"`` or ``"event"``; unlike the cache
+    decoders an ``ERR`` does *not* raise here — the error body carries
+    a structured ``code`` the client maps onto its own exceptions.
+    """
+    if not payload:
+        raise ProtocolError("empty response frame")
+    status = payload[:1]
+    kinds = {STATUS_OK: "ok", STATUS_ERR: "err", STATUS_EVENT: "event"}
+    if status not in kinds:
+        raise ProtocolError(
+            "unknown response status {!r}".format(status))
+    reader = _Reader(payload[1:])
+    request_id = _U64.unpack(reader.take(8))[0]
+    body = _read_json(reader)
+    reader.done()
+    return kinds[status], request_id, body

@@ -41,7 +41,7 @@ from ..hwlib.technology import DEFAULT_TECHNOLOGY
 from ..obs import ensure_observer
 from ..sched.list_scheduler import list_schedule
 from ..sched.units import contract_dfg
-from ..core.evalcache import EvalCache, evalcache_enabled
+from ..core.evalcache import EvalCache, eval_scope, evalcache_enabled
 from ..core.parallel import parallel_map, resolve_jobs
 
 
@@ -241,9 +241,7 @@ class ExplorerEngine:
         #: machine/technology identity below — ``_evaluate`` depends on
         #: both, and the shared tier outlives this engine (see
         #: :mod:`repro.core.evalcache`).
-        scope = "{}is|{}|{}|{!r}".format(
-            self.machine.issue_width, self.machine.register_file.spec,
-            sorted(self.machine.fu_counts.items()), self.technology)
+        scope = eval_scope(self.machine, self.technology)
         self._evalcache = EvalCache(scope) if evalcache_enabled() else None
 
     # -- the protocol ------------------------------------------------------

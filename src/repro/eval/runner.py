@@ -21,6 +21,7 @@ environment variable.
 
 import logging
 import os
+import threading
 
 from ..baselines import greedy_explorer_factory, si_explorer_factory
 from ..config import ExplorationParams, ISEConstraints
@@ -91,6 +92,7 @@ class EvalContext:
         # so this context's contribution is the delta since creation.
         self._remote_baseline = remote_counters()
         self._closed = False
+        self._close_lock = threading.Lock()
 
     # -- plumbing ---------------------------------------------------------
 
@@ -182,10 +184,17 @@ class EvalContext:
         ``atexit`` hook only backstops contexts that are never closed.
         A configured remote tier gets its insert log flushed and its
         delta tallies recorded as ``remote.*`` counters.
+
+        Idempotent *and* thread-safe: a server's lifecycle teardown can
+        race a request handler's ``with EvalContext(...)`` exit, so the
+        first caller wins and later (or concurrent) calls return
+        immediately.  The pool teardown itself is ordering-safe — see
+        :func:`repro.core.pool.shutdown_pools`.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         stats = self.cache_stats()
         logger.info(
             "EvalContext cache: memory %d hit(s) / %d miss(es), "

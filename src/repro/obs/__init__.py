@@ -27,10 +27,11 @@ See docs/OBSERVABILITY.md for the event schema and overhead numbers.
 from .events import Event
 from .metrics import MetricsRegistry
 from .observer import NULL_OBSERVER, NullObserver, Observer, ensure_observer
-from .sinks import JsonlSink, MemorySink, ProgressSink
+from .sinks import CallbackSink, JsonlSink, MemorySink, ProgressSink
 from .trace import load_trace, render_summary, summarize_trace
 
 __all__ = [
+    "CallbackSink",
     "Event",
     "JsonlSink",
     "MemorySink",

@@ -7,7 +7,10 @@ A sink is any object with ``handle(event)`` (and optionally
 * :class:`JsonlSink` — one JSON object per line, the trace-file format
   read back by ``repro metrics`` (:mod:`repro.obs.trace`);
 * :class:`ProgressSink` — human-readable one-liners for ``--progress``
-  style monitoring of long explorations.
+  style monitoring of long explorations;
+* :class:`CallbackSink` — forwards each event's JSON record to a
+  callable, the bridge the exploration service uses to stream progress
+  frames to subscribed clients.
 """
 
 import json
@@ -133,3 +136,33 @@ class ProgressSink:
 
     def close(self):
         """No-op (the stream is caller-owned)."""
+
+
+class CallbackSink:
+    """Forwards each event's JSON-able record to ``callback(record)``.
+
+    ``iteration`` events are skipped by default (a full exploration
+    emits thousands; rounds/blocks/flow milestones are the cadence a
+    remote subscriber wants) — pass ``skip_kinds=()`` to forward
+    everything.  Callback exceptions are swallowed: a slow or broken
+    subscriber must never fail the exploration it watches.
+    """
+
+    def __init__(self, callback, skip_kinds=("iteration",)):
+        self.callback = callback
+        self.skip_kinds = frozenset(skip_kinds)
+        self.forwarded = 0
+        self.errors = 0
+
+    def handle(self, event):
+        """Forward one event's record (best-effort)."""
+        if event.kind in self.skip_kinds:
+            return
+        try:
+            self.callback(event.to_record())
+            self.forwarded += 1
+        except Exception:
+            self.errors += 1
+
+    def close(self):
+        """No-op (the callback target is caller-owned)."""

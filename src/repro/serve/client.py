@@ -1,0 +1,179 @@
+"""The blocking :class:`ServiceClient` for ``repro serve``.
+
+One TCP connection, framed JSON requests, client-chosen request ids.
+The client is deliberately small and synchronous — journeys, tests and
+scripts drive it from plain threads; concurrency across *clients* is
+the server's job.  Because responses are multiplexed by id, the client
+may send several requests before reading (``send``/``wait``), and any
+``EVENT`` frames that arrive while waiting are collected on
+:attr:`events` instead of being mistaken for answers.
+
+Server-side failures surface as :class:`ServiceError` carrying the
+structured ``code`` from the wire (``bad-request``, ``quota``,
+``timeout``, ``cancelled``, ``protocol``, ``pending`` …); transport
+failures use code ``connection``.
+"""
+
+import itertools
+import socket
+
+from ..dist import protocol
+from ..errors import ReproError
+
+
+class ServiceError(ReproError):
+    """A structured error answered by (or about) the explore server."""
+
+    def __init__(self, message, code="error"):
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceClient:
+    """Blocking framed-JSON client of one :class:`ExploreServer`.
+
+    ``address`` is ``host:port`` (or ``(host, port)``); ``timeout`` is
+    the socket-level ceiling on any single recv — explorations answered
+    slower than this surface as a ``connection`` ServiceError, so size
+    it to the effort profile being served.
+    """
+
+    def __init__(self, address, timeout=120.0):
+        if isinstance(address, str):
+            host, __, port = address.rpartition(":")
+            try:
+                address = (host, int(port))
+            except ValueError:
+                raise ServiceError(
+                    "malformed server address {!r}".format(address),
+                    code="connection") from None
+        try:
+            self._sock = socket.create_connection(address, timeout=timeout)
+        except OSError as error:
+            raise ServiceError(
+                "cannot connect to {}: {}".format(address, error),
+                code="connection") from None
+        self._ids = itertools.count(1)
+        self._pending = {}         # request_id -> (kind, body)
+        #: ``(request_id, record)`` EVENT frames seen while waiting.
+        self.events = []
+
+    # -- low-level multiplexing -------------------------------------------
+
+    def send(self, body):
+        """Send one request frame; returns its request id (no wait)."""
+        request_id = next(self._ids)
+        frame = protocol.pack_frame(
+            protocol.encode_serve_request(request_id, body))
+        try:
+            self._sock.sendall(frame)
+        except OSError as error:
+            raise ServiceError(
+                "connection lost while sending: {}".format(error),
+                code="connection") from None
+        return request_id
+
+    def wait(self, request_id):
+        """Block until ``request_id`` is answered; OK body or raise."""
+        while True:
+            if request_id in self._pending:
+                kind, body = self._pending.pop(request_id)
+            else:
+                kind, answered, body = self._read_response()
+                if kind == "event":
+                    self.events.append((answered, body))
+                    continue
+                if answered != request_id:
+                    self._pending[answered] = (kind, body)
+                    continue
+            if kind == "ok":
+                return body
+            raise ServiceError(body.get("error", "server error"),
+                               code=body.get("code", "error"))
+
+    def request(self, body):
+        """Send one request and block for its answer."""
+        return self.wait(self.send(body))
+
+    def _read_response(self):
+        prefix = self._recv_exact(4)
+        payload = self._recv_exact(protocol.frame_length(prefix))
+        return protocol.decode_serve_response(payload)
+
+    def _recv_exact(self, n):
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except OSError as error:
+                raise ServiceError(
+                    "connection lost: {}".format(error),
+                    code="connection") from None
+            if not chunk:
+                raise ServiceError("server closed the connection",
+                                   code="connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # -- operations --------------------------------------------------------
+
+    def explore(self, workload, **params):
+        """Served :func:`repro.api.explore`; returns the payload dict."""
+        return self.request(dict(params, op="explore", workload=workload))
+
+    def evaluate(self, workload, **params):
+        """Served :func:`repro.api.evaluate` (explore + selection)."""
+        return self.request(dict(params, op="evaluate", workload=workload))
+
+    def sweep(self, workloads, **params):
+        """Served :func:`repro.api.sweep`; returns the sweep payload."""
+        return self.request(dict(params, op="sweep",
+                                 workloads=list(workloads)))
+
+    def submit(self, workload, **params):
+        """Fire-and-forget exploration; returns the job id."""
+        return self.request(
+            dict(params, op="submit", workload=workload))["job"]
+
+    def poll(self, job):
+        """Job state string (``pending``/``done``/``error``/...)."""
+        return self.request({"op": "poll", "job": job})["state"]
+
+    def fetch(self, job):
+        """Result payload of a finished job (ServiceError otherwise)."""
+        return self.request({"op": "fetch", "job": job})
+
+    def cancel(self, request=None, job=None):
+        """Cancel an in-flight request id or a pending job."""
+        body = {"op": "cancel"}
+        if request is not None:
+            body["request"] = request
+        if job is not None:
+            body["job"] = job
+        return self.request(body)
+
+    def status(self):
+        """Server status: counters, scopes, jobs, session count."""
+        return self.request({"op": "status"})
+
+    def subscribe(self, events=True):
+        """Opt in/out of EVENT streaming for *subsequent* requests."""
+        return self.request({"op": "subscribe", "events": events})
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -1,0 +1,363 @@
+"""Per-machine-scope worker lanes: batching, memoing, fan-out.
+
+The server (:mod:`repro.serve.server`) never explores on its event
+loop.  Each request is wrapped in a :class:`WorkItem` and queued onto
+the :class:`ScopeLane` of its machine scope — the same scope string
+that qualifies shared/remote evalcache keys
+(:func:`repro.core.evalcache.eval_scope`), so requests that can share
+evaluation work share a lane by construction.  One daemon thread per
+lane drains its queue in batches:
+
+1. **memo** — a request whose :func:`~repro.serve.schema.explore_fingerprint`
+   was already explored on this lane answers from the lane's bounded
+   LRU memo (the exploration is a pure function of the fingerprint);
+2. **batch** — the remaining requests are grouped by
+   :func:`~repro.serve.schema.compat_key`; each group's hot blocks are
+   fanned out in **one** ``explore_many`` dispatch over the shared
+   worker pool, exactly as :meth:`ISEDesignFlow._explore_hot_blocks`
+   would for a single application.  Per-block RNG streams derive only
+   from ``(seed, restart, function, label)`` and the evalcache memoises
+   exactly what recomputation would produce, so the batched dispatch is
+   bit-identical to running each request one-shot;
+3. **fan-out** — results are sliced back per request and each item
+   answered through its thread-safe ``deliver``/``fail`` callbacks
+   (the server bridges these onto its event loop).
+
+Sweeps span machines, so they run unbatched on a dedicated ``sweep``
+lane, delegating to :func:`repro.api.sweep` wholesale.
+"""
+
+import queue
+import threading
+from collections import OrderedDict
+
+from ..config import ISEConstraints
+from ..core.flow import ExploredApplication, ISEDesignFlow
+from ..core.parallel import resolve_jobs
+from ..ir.passes.pipeline import optimize
+from ..obs import NULL_OBSERVER, CallbackSink, Observer
+from ..sched.machine import MachineConfig
+from ..workloads import get_workload
+from . import schema
+
+#: Default per-lane memo bound (explorations kept hot for re-fetch).
+DEFAULT_MEMO_ENTRIES = 64
+
+_STOP = object()
+
+
+class WorkItem:
+    """One queued request plus its completion/event callbacks.
+
+    ``deliver``/``fail`` are called at most once, from the lane thread
+    (the server marshals them back onto its loop); after either — or
+    after :meth:`abandon` (timeout / cancel / dropped connection) — the
+    item is *dead*: later completions and events are silently dropped,
+    so a lane never races a client that already got its answer.
+    """
+
+    __slots__ = ("request", "events", "_deliver", "_fail", "_dead")
+
+    def __init__(self, request, deliver, fail, events=None):
+        self.request = request
+        self.events = events
+        self._deliver = deliver
+        self._fail = fail
+        self._dead = threading.Event()
+
+    def live(self):
+        """True until the item completed or was abandoned."""
+        return not self._dead.is_set()
+
+    def abandon(self):
+        """Drop the item: later deliver/fail/events become no-ops."""
+        self._dead.set()
+
+    def deliver(self, payload):
+        """Answer the item (first completion wins)."""
+        if not self._dead.is_set():
+            self._dead.set()
+            self._deliver(payload)
+
+    def fail(self, error):
+        """Fail the item (first completion wins)."""
+        if not self._dead.is_set():
+            self._dead.set()
+            self._fail(error)
+
+    def emit(self, record):
+        """Forward one progress record, if anyone is listening."""
+        if self.events is not None and not self._dead.is_set():
+            self.events(record)
+
+
+class ScopeLane:
+    """One scope's queue + daemon worker thread + exploration memo."""
+
+    def __init__(self, scope, counters=None,
+                 memo_entries=DEFAULT_MEMO_ENTRIES):
+        self.scope = scope
+        self.counters = counters      # callable ``bump(name, n)`` or None
+        self.memo_entries = memo_entries
+        self._memo = OrderedDict()    # fingerprint -> (payload, explored, flow)
+        self._queue = queue.Queue()
+        self._thread = None
+        self._start_lock = threading.Lock()
+
+    # -- public surface ----------------------------------------------------
+
+    def submit(self, item):
+        """Queue one :class:`WorkItem` (starts the thread lazily)."""
+        with self._start_lock:
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, daemon=True,
+                    name="repro-serve-lane")
+                self._thread.start()
+        self._queue.put(item)
+
+    def stop(self, timeout=30.0):
+        """Stop the lane thread after the work already queued drains."""
+        with self._start_lock:
+            thread = self._thread
+        if thread is None:
+            return
+        self._queue.put(_STOP)
+        thread.join(timeout=timeout)
+
+    def memo_size(self):
+        """Number of explorations currently memoised."""
+        return len(self._memo)
+
+    def _bump(self, name, n=1):
+        if self.counters is not None:
+            self.counters(name, n)
+
+    # -- lane loop ---------------------------------------------------------
+
+    def _run(self):
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            stopping = False
+            while True:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    stopping = True
+                    break
+                batch.append(extra)
+            batch = [i for i in batch if i.live()]
+            sweeps = [i for i in batch if i.request["op"] == "sweep"]
+            explores = [i for i in batch if i.request["op"] != "sweep"]
+            groups = OrderedDict()
+            for i in explores:
+                groups.setdefault(schema.compat_key(i.request), []).append(i)
+            for items in groups.values():
+                try:
+                    self._process_group(items)
+                except Exception as error:
+                    for i in items:
+                        i.fail(error)
+            for i in sweeps:
+                try:
+                    self._run_sweep(i)
+                except Exception as error:
+                    i.fail(error)
+            if stopping:
+                return
+
+    # -- explore / evaluate ------------------------------------------------
+
+    def _process_group(self, items):
+        """Serve one compat group: memo first, batch the rest."""
+        fresh = OrderedDict()
+        for item in items:
+            fingerprint = schema.explore_fingerprint(item.request)
+            entry = self._memo.get(fingerprint)
+            if entry is not None:
+                self._memo.move_to_end(fingerprint)
+                self._bump("serve.memo_hits")
+                self._finish(item, entry)
+            else:
+                fresh.setdefault(fingerprint, []).append(item)
+        if not fresh:
+            return
+        if len(fresh) > 1:
+            self._bump("serve.batched_dispatches")
+            self._bump("serve.batched_requests",
+                       sum(len(v) for v in fresh.values()))
+        self._explore_group(fresh)
+
+    def _explore_group(self, fresh):
+        """Explore every unique fingerprint in one pool dispatch.
+
+        Mirrors :func:`repro.api.explore` +
+        :meth:`ISEDesignFlow.explore_application` stage by stage, with
+        the single difference that the hot blocks of *all* requests in
+        the group ride one ``_explore_hot_blocks`` fan-out.  The result
+        assembly per request is byte-for-byte the flow's own.
+        """
+        from ..api import ExploreResult, _resolve_params
+
+        targets = [i for waiters in fresh.values() for i in waiters
+                   if i.events is not None]
+        if targets:
+            def fan_out(record):
+                for listener in targets:
+                    listener.emit(record)
+            group_obs = Observer(sinks=[CallbackSink(fan_out)])
+        else:
+            group_obs = NULL_OBSERVER
+        prepared = []
+        for fingerprint, waiters in fresh.items():
+            req = waiters[0].request
+            params, max_blocks = _resolve_params(
+                req["profile"], req["iterations"], req["restarts"])
+            flow_kwargs = dict(params=params, seed=req["seed"],
+                               jobs=req["jobs"], batch=req["batch"],
+                               obs=group_obs, engine=req["engine"])
+            if max_blocks is not None:
+                flow_kwargs["max_blocks"] = max_blocks
+            flow = ISEDesignFlow(MachineConfig(req["issue"], req["ports"]),
+                                 **flow_kwargs)
+            bundle = get_workload(req["workload"])
+            program, args = bundle.build()
+            program = optimize(program, req["opt"])
+            blocks = flow.profile_blocks(program, args=args)
+            hot = flow._select_hot_blocks(blocks)
+            prepared.append((fingerprint, waiters, req, bundle, flow,
+                             program, blocks, hot))
+        flow0 = prepared[0][4]
+        explorer = flow0._explorer_factory(flow0)
+        jobs = resolve_jobs(flow0.jobs, obs=group_obs)
+        all_hot = [b for entry in prepared for b in entry[7]]
+        results = ISEDesignFlow._explore_hot_blocks(explorer, all_hot, jobs)
+        position = 0
+        try:
+            for (fingerprint, waiters, req, bundle, flow, program, blocks,
+                 hot) in prepared:
+                block_results = results[position:position + len(hot)]
+                position += len(hot)
+                candidates = []
+                explored_labels = []
+                for instance, result in zip(hot, block_results):
+                    explored_labels.append(
+                        (instance.function, instance.label))
+                    for candidate in result.candidates:
+                        candidate.weighted_saving = (
+                            candidate.cycle_saving * instance.freq)
+                        candidates.append(candidate)
+                explored = ExploredApplication(
+                    program, flow.machine, blocks, candidates,
+                    explored_labels, flow.technology, flow.constraints)
+                api_result = ExploreResult(
+                    workload=bundle.name, opt=req["opt"],
+                    issue=req["issue"], ports=req["ports"],
+                    profile=req["profile"], seed=req["seed"],
+                    baseline_cycles=explored.baseline_cycles,
+                    candidates=tuple(c.describe()
+                                     for c in explored.candidates),
+                    engine=req["engine"], explored=explored, flow=flow)
+                payload = schema.explore_payload(api_result)
+                payload["digest"] = schema.explore_digest(payload)
+                entry = (payload, explored, flow)
+                self._memo[fingerprint] = entry
+                while len(self._memo) > self.memo_entries:
+                    self._memo.popitem(last=False)
+                for item in waiters:
+                    self._finish(item, entry)
+        finally:
+            # Drop the group observer so memoised flows never hold a
+            # reference chain back to completed sessions.
+            for entry in prepared:
+                entry[4].obs = NULL_OBSERVER
+
+    def _finish(self, item, entry):
+        """Answer one item from a (payload, explored, flow) entry."""
+        payload, explored, flow = entry
+        try:
+            if item.request["op"] == "evaluate":
+                item.deliver(self._select(item.request, explored, flow))
+            else:
+                item.deliver(dict(payload))
+        except Exception as error:
+            item.fail(error)
+
+    @staticmethod
+    def _select(req, explored, flow):
+        """Budgeted selection on a finished exploration (deterministic)."""
+        constraints = ISEConstraints(max_area=req["max_area"],
+                                     max_ises=req["max_ises"])
+        report = flow.evaluate(explored, constraints,
+                               enable_sharing=req["enable_sharing"])
+        payload = {
+            "kind": "selection",
+            "workload": req["workload"], "opt": req["opt"],
+            "issue": req["issue"], "ports": req["ports"],
+            "max_area": req["max_area"], "max_ises": req["max_ises"],
+            "baseline_cycles": report.baseline_cycles,
+            "final_cycles": report.final_cycles,
+            "reduction": report.reduction,
+            "num_ises": report.num_ises, "area": report.area,
+            "ises": [entry.representative.describe()
+                     for entry in report.selection.selected],
+        }
+        payload["digest"] = schema.selection_digest(payload)
+        return payload
+
+    # -- sweep -------------------------------------------------------------
+
+    def _run_sweep(self, item):
+        """One design-space sweep, delegated to the api wholesale."""
+        from ..api import sweep
+
+        req = item.request
+        observer = None
+        if item.events is not None:
+            observer = Observer(sinks=[CallbackSink(item.emit)])
+        result = sweep(
+            req["workloads"], machines=req["machines"],
+            budgets=req["budgets"], opt=req["opt"],
+            profile=req["profile"], seed=req["seed"],
+            engine=req["engine"], jobs=req["jobs"], batch=req["batch"],
+            iterations=req["iterations"], restarts=req["restarts"],
+            shard=req["shard"], observer=observer)
+        item.deliver(result.to_payload())
+
+
+class ScopeRegistry:
+    """Lazily-created :class:`ScopeLane` per scope string."""
+
+    def __init__(self, counters=None, memo_entries=DEFAULT_MEMO_ENTRIES):
+        self.counters = counters
+        self.memo_entries = memo_entries
+        self._lanes = {}
+        self._lock = threading.Lock()
+
+    def lane(self, scope):
+        """The lane of ``scope``, created on first use."""
+        with self._lock:
+            lane = self._lanes.get(scope)
+            if lane is None:
+                lane = ScopeLane(scope, counters=self.counters,
+                                 memo_entries=self.memo_entries)
+                self._lanes[scope] = lane
+            return lane
+
+    def scopes(self):
+        """The scope strings with a live lane, sorted."""
+        with self._lock:
+            return sorted(self._lanes)
+
+    def close(self):
+        """Stop every lane (idempotent; queued work drains first)."""
+        with self._lock:
+            lanes = list(self._lanes.values())
+            self._lanes.clear()
+        for lane in lanes:
+            lane.stop()

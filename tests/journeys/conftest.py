@@ -1,0 +1,104 @@
+"""Journey-test harness: scripted stateful client journeys.
+
+A *journey* is a multi-step interaction of one client with a live
+in-process :class:`ExploreServer` — connect, issue requests, poll,
+drop, reconnect — modelled as an explicit state machine.  Each journey
+declares its complete set of ``(op, session_state)`` transitions up
+front; :meth:`Journey.do` refuses undeclared transitions (the script
+drifted from its declaration) and :meth:`Journey.assert_complete`
+fails the test unless every declared transition was exercised, so
+coverage of the declared protocol surface is 100% by construction,
+never by accident.
+
+The fixtures keep everything in-process: ``serve_server`` starts a
+fresh daemon-threaded server per test, ``make_client`` hands out
+independent connections (one per simulated user), and both tear down
+even when a journey dies mid-script.
+"""
+
+import pytest
+
+from repro.serve.client import ServiceClient
+from repro.serve.server import ExploreServer
+
+#: Minimal-effort explore settings shared by every journey.
+FAST = dict(profile="quick", iterations=8, restarts=1)
+
+
+class Journey:
+    """One scripted client journey with transition-coverage tracking.
+
+    ``transitions`` declares the legal ``(op, state_before)`` pairs.
+    ``do(op, fn, to=...)`` executes one step: it asserts the step was
+    declared for the *current* state, runs ``fn``, records coverage and
+    moves to ``to`` (or stays).  Initial state is ``"fresh"``.
+    """
+
+    def __init__(self, name, transitions):
+        self.name = name
+        self.declared = set(transitions)
+        self.exercised = set()
+        self.state = "fresh"
+        self.log = []
+
+    def do(self, op, fn, to=None):
+        """Run one step; returns ``fn()``'s result."""
+        pair = (op, self.state)
+        if pair not in self.declared:
+            raise AssertionError(
+                "journey {!r}: undeclared transition {} from state "
+                "{!r}".format(self.name, op, self.state))
+        result = fn()
+        self.exercised.add(pair)
+        self.log.append((op, self.state, to if to is not None
+                         else self.state))
+        if to is not None:
+            self.state = to
+        return result
+
+    def coverage(self):
+        """``(exercised, declared)`` transition-pair counts."""
+        return len(self.exercised), len(self.declared)
+
+    def report(self):
+        """Human-readable coverage summary (handy under ``-v``)."""
+        done, total = self.coverage()
+        lines = ["journey {!r}: {}/{} transition(s) exercised".format(
+            self.name, done, total)]
+        for op, state in sorted(self.declared):
+            mark = "x" if (op, state) in self.exercised else " "
+            lines.append("  [{}] ({}, {})".format(mark, op, state))
+        return "\n".join(lines)
+
+    def assert_complete(self):
+        """Fail unless every declared transition was exercised."""
+        missing = self.declared - self.exercised
+        assert not missing, \
+            "journey {!r} left transition(s) unexercised: {}\n{}".format(
+                self.name, sorted(missing), self.report())
+        done, total = self.coverage()
+        assert done == total    # 100% of the declared surface, always
+
+
+@pytest.fixture
+def serve_server():
+    """A fresh in-process explore server (stopped on teardown)."""
+    server = ExploreServer(port=0)
+    server.start_in_thread()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def make_client(serve_server):
+    """Factory for independent client connections; all closed at exit."""
+    clients = []
+
+    def factory(timeout=120.0):
+        client = ServiceClient(serve_server.address, timeout=timeout)
+        clients.append(client)
+        return client
+
+    yield factory
+    for client in clients:
+        client.close()

@@ -1,0 +1,240 @@
+"""Adversarial service journeys: hostile concurrency, dying workers,
+and cache poisoning across machine scopes.
+
+These are the "prove it" counterparts to the happy-path journeys:
+
+* N concurrent clients hammering one scope must all receive
+  bit-identical results (digest equality against serial one-shot
+  references) — multiplexing and batching may change *when* work runs,
+  never *what* it computes.
+* A pool worker SIGKILLed while a request is in flight must surface a
+  structured error on that request (never a hang), and the very next
+  request must succeed on a recreated pool.
+* Forged remote-cache rows planted under one machine scope must never
+  leak into another scope's results, even when the poison is preloaded
+  into the shared-memory tier the explorations actually consult.
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+
+from journeys.conftest import FAST
+
+from repro import api
+from repro.core.pool import (
+    active_pool,
+    add_dispatch_hook,
+    pool_persist_enabled,
+    remove_dispatch_hook,
+    shutdown_pools,
+)
+from repro.serve import schema
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.server import ExploreServer
+
+
+def _digest(payload):
+    return schema.explore_digest(payload)
+
+
+def _reference_digest(workload, **params):
+    return _digest(schema.explore_payload(api.explore(workload, **params)))
+
+
+# -- concurrent clients ------------------------------------------------------
+
+def test_concurrent_clients_get_bit_identical_results(serve_server,
+                                                      make_client):
+    """Four clients, one scope, a mix of identical and distinct
+    fingerprints, all in flight at once — every answer digests equal to
+    its serial one-shot reference, and duplicate fingerprints agree
+    with each other exactly."""
+    requests = [
+        ("crc32", 21),
+        ("crc32", 21),        # duplicate fingerprint of client 0
+        ("bitcount", 21),     # same compat key, batchable with crc32
+        ("crc32", 22),        # distinct fingerprint, same scope
+    ]
+    results = [None] * len(requests)
+    errors = []
+
+    def hammer(index, workload, seed):
+        try:
+            client = make_client()
+            results[index] = client.explore(workload, seed=seed, **FAST)
+        except Exception as error:    # noqa: BLE001 - re-raised below
+            errors.append((index, error))
+
+    threads = [threading.Thread(target=hammer, args=(i, w, s))
+               for i, (w, s) in enumerate(requests)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, errors
+    assert all(result is not None for result in results)
+
+    # Duplicate fingerprints: byte-for-byte the same payload.
+    assert results[0] == results[1]
+    # Every unique fingerprint: digest-identical to its one-shot run.
+    for (workload, seed), payload in zip(requests, results):
+        assert _digest(payload) \
+            == _reference_digest(workload, seed=seed, **FAST)
+
+
+def test_concurrent_duplicate_storm_single_exploration(serve_server,
+                                                       make_client):
+    """Eight same-fingerprint requests in one burst produce one
+    exploration's worth of distinct payloads (all equal), not eight
+    divergent ones."""
+    clients = [make_client() for _ in range(4)]
+    rids = [(client, client.send(dict(FAST, op="explore",
+                                      workload="crc32", seed=27)))
+            for client in clients for _ in range(2)]
+    payloads = [client.wait(rid) for client, rid in rids]
+    assert all(payload == payloads[0] for payload in payloads)
+    assert _digest(payloads[0]) \
+        == _reference_digest("crc32", seed=27, **FAST)
+
+
+# -- dying workers -----------------------------------------------------------
+
+def test_worker_sigkill_mid_request_structured_error(serve_server,
+                                                     make_client,
+                                                     monkeypatch):
+    """SIGKILL a pool worker while a served request's dispatch is
+    starting: the request fails with a structured ServiceError (no
+    hang), and the next request succeeds on a recreated pool."""
+    from repro.core import parallel
+
+    # The CI container may expose a single CPU; widen the clamp so
+    # jobs=2 genuinely fans out over a two-worker pool.
+    monkeypatch.setattr(parallel, "_available_cpus", lambda: 4)
+    if not pool_persist_enabled():
+        pytest.skip("persistent pool disabled (REPRO_POOL_PERSIST=0)")
+
+    client = make_client(timeout=120.0)
+    # Warm-up creates the persistent pool (jobs=2 → two workers).
+    warm = client.explore("crc32", seed=41, jobs=2, **FAST)
+    assert _digest(warm) == _reference_digest("crc32", seed=41, jobs=2,
+                                              **FAST)
+    pool = active_pool()
+    assert pool is not None and len(pool.worker_pids()) >= 2
+
+    killed = []
+
+    def assassin(phase, info):
+        # Fires on the lane thread as the victim request's dispatch
+        # begins — the serve request is in flight, the pool is live.
+        if phase == "start" and not killed:
+            victim = active_pool()
+            if victim is not None and victim.worker_pids():
+                killed.append(victim.worker_pids()[0])
+                os.kill(killed[0], signal.SIGKILL)
+
+    add_dispatch_hook(assassin)
+    try:
+        with pytest.raises(ServiceError) as excinfo:
+            client.explore("crc32", seed=42, jobs=2, **FAST)
+    finally:
+        remove_dispatch_hook(assassin)
+    assert killed, "dispatch hook never fired"
+    # Structured failure, not a hang or a dropped connection.
+    assert excinfo.value.code == "error"
+    assert str(excinfo.value)
+
+    # The service recovers: a fresh fingerprint on the same connection
+    # dispatches onto a recreated pool and stays bit-identical.
+    after = client.explore("crc32", seed=43, jobs=2, **FAST)
+    assert _digest(after) == _reference_digest("crc32", seed=43, jobs=2,
+                                               **FAST)
+    replacement = active_pool()
+    assert replacement is not None
+    assert killed[0] not in replacement.worker_pids()
+
+
+# -- cache poisoning across scopes -------------------------------------------
+
+def test_forged_scope_rows_never_poison_other_scope(monkeypatch):
+    """Plant absurd cycle counts in the remote evalcache under a forged
+    machine scope whose key *suffixes* byte-match scope B's real rows.
+    Scope B's served exploration must ignore them entirely — its digest
+    stays identical to a cache-free one-shot run — even after a fresh
+    pool preloads the poisoned remote tier into shared memory."""
+    from repro.core import parallel
+    from repro.dist.client import (
+        REMOTE_ENV,
+        RemoteEvalCache,
+        reset_remote_cache,
+    )
+    from repro.dist.server import EvalCacheServer
+
+    # Round 2 fans out (jobs=2) so the poisoned remote tier is really
+    # preloaded into the workers' shared table; widen the CPU clamp so
+    # that happens even on a single-CPU container.
+    monkeypatch.setattr(parallel, "_available_cpus", lambda: 4)
+
+    scope_b = b"2is|4/2|"          # issue=2, ports=4/2 (FAST's machine)
+    scope_a = b"9is|9/9|"          # forged: no real machine hashes here
+
+    monkeypatch.delenv(REMOTE_ENV, raising=False)
+    reset_remote_cache()
+    reference = _reference_digest("crc32", seed=31, **FAST)
+
+    cache_server = EvalCacheServer(port=0)
+    cache_server.start_in_thread()
+    try:
+        monkeypatch.setenv(REMOTE_ENV, cache_server.address)
+        monkeypatch.setenv("REPRO_REMOTE_TIMEOUT", "5.0")
+        reset_remote_cache()
+        shutdown_pools()            # next dispatch builds a fresh pool
+
+        # Round 1: populate the remote tier with scope B's real rows.
+        server = ExploreServer(port=0)
+        server.start_in_thread()
+        try:
+            with ServiceClient(server.address) as client:
+                first = client.explore("crc32", seed=31, **FAST)
+            assert _digest(first) == reference
+        finally:
+            server.stop()           # flushes pending remote puts
+
+        real_keys = [key for key in list(cache_server.store._entries)
+                     if key.startswith(scope_b)]
+        assert real_keys, "scope B rows never reached the remote tier"
+
+        # Forge scope-A rows whose unqualified suffix byte-matches
+        # scope B's, each claiming an absurdly perfect 1-cycle result.
+        forger = RemoteEvalCache(cache_server.address, timeout=5.0)
+        try:
+            for key in real_keys:
+                forger.put_cycles(scope_a + key[len(scope_b):], 1)
+            forger.flush()
+            poison_probe = scope_a + real_keys[0][len(scope_b):]
+            assert forger.get_cycles(poison_probe) == 1   # poison landed
+        finally:
+            forger.close()
+
+        # Round 2: fresh pool (preloads the poisoned remote tier into
+        # shared memory), fresh server (no memo) — scope B re-explores.
+        shutdown_pools()
+        server = ExploreServer(port=0)
+        server.start_in_thread()
+        try:
+            with ServiceClient(server.address) as client:
+                second = client.explore("crc32", seed=31, jobs=2, **FAST)
+            pool = active_pool()
+            assert pool is not None
+            # The poison really was adjacent: preload pulled the
+            # remote rows (forged ones included) into the table.
+            assert pool.stats["remote_preload_rows"] >= len(real_keys)
+            assert _digest(second) == reference
+        finally:
+            server.stop()
+    finally:
+        cache_server.stop()
+        reset_remote_cache()
+        shutdown_pools()

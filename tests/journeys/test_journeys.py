@@ -1,0 +1,171 @@
+"""Stateful client journeys against a live in-process server.
+
+Each test scripts one realistic multi-step journey through the
+service's session states and asserts 100% coverage of its declared
+``(op, state)`` transitions — see ``conftest.Journey``.  Correctness
+is pinned throughout by digest parity against one-shot
+:func:`repro.api.explore` results: a journey is only as good as the
+answers it collects along the way.
+"""
+
+import time
+
+import pytest
+
+from journeys.conftest import FAST, Journey
+
+from repro import api
+from repro.serve import schema
+
+
+def _poll_until_done(client, job, deadline_s=60.0):
+    deadline = time.time() + deadline_s
+    state = client.poll(job)
+    while state not in ("done", "error", "cancelled") \
+            and time.time() < deadline:
+        time.sleep(0.02)
+        state = client.poll(job)
+    return state
+
+
+def test_basic_lifecycle_journey(serve_server, make_client):
+    """connect → subscribe → submit → poll → fetch → explore → leave."""
+    journey = Journey("basic-lifecycle", [
+        ("connect", "fresh"),
+        ("subscribe", "connected"),
+        ("submit", "connected"),
+        ("poll", "submitted"),
+        ("fetch", "submitted"),
+        ("explore", "served"),
+        ("status", "served"),
+        ("disconnect", "served"),
+    ])
+    client = journey.do("connect", make_client, to="connected")
+    journey.do("subscribe", client.subscribe)
+    job = journey.do(
+        "submit", lambda: client.submit("crc32", seed=7, **FAST),
+        to="submitted")
+    state = journey.do("poll", lambda: _poll_until_done(client, job))
+    assert state == "done"
+    fetched = journey.do("fetch", lambda: client.fetch(job), to="served")
+    # The same fingerprint through the synchronous op answers from the
+    # lane memo, bit-identically.
+    explored = journey.do(
+        "explore", lambda: client.explore("crc32", seed=7, **FAST))
+    assert explored == fetched
+    status = journey.do("status", client.status)
+    assert status["jobs"][job] == "done"
+    journey.do("disconnect", client.close, to="closed")
+    journey.assert_complete()
+
+    reference = schema.explore_payload(api.explore("crc32", seed=7, **FAST))
+    assert schema.explore_digest(fetched) \
+        == schema.explore_digest(reference)
+
+
+def test_two_scopes_interleaved_journey(serve_server, make_client):
+    """One client interleaves two machine scopes; neither contaminates
+    the other — each scope's answers stay digest-identical to one-shot
+    runs, and the server reports both scope lanes."""
+    narrow = dict(FAST, issue=2, ports="4/2")
+    wide = dict(FAST, issue=4, ports="8/4")
+    journey = Journey("two-scopes-interleaved", [
+        ("connect", "fresh"),
+        ("explore-narrow", "connected"),
+        ("explore-wide", "one-scope"),
+        ("explore-narrow", "two-scopes"),
+        ("evaluate-wide", "two-scopes"),
+        ("status", "two-scopes"),
+        ("disconnect", "two-scopes"),
+    ])
+    client = journey.do("connect", make_client, to="connected")
+    first = journey.do(
+        "explore-narrow",
+        lambda: client.explore("crc32", seed=3, **narrow),
+        to="one-scope")
+    wide_result = journey.do(
+        "explore-wide", lambda: client.explore("crc32", seed=3, **wide),
+        to="two-scopes")
+    again = journey.do(
+        "explore-narrow",
+        lambda: client.explore("crc32", seed=3, **narrow))
+    assert again == first
+    selection = journey.do(
+        "evaluate-wide",
+        lambda: client.evaluate("crc32", seed=3, max_area=80_000.0,
+                                **wide))
+    status = journey.do("status", client.status)
+    scopes = status["scopes"]
+    assert any(s.startswith("2is|4/2|") for s in scopes)
+    assert any(s.startswith("4is|8/4|") for s in scopes)
+    journey.do("disconnect", client.close, to="closed")
+    journey.assert_complete()
+
+    ref_narrow = schema.explore_payload(
+        api.explore("crc32", seed=3, **narrow))
+    ref_wide = schema.explore_payload(api.explore("crc32", seed=3, **wide))
+    assert schema.explore_digest(first) == schema.explore_digest(ref_narrow)
+    assert schema.explore_digest(wide_result) \
+        == schema.explore_digest(ref_wide)
+    assert schema.explore_digest(first) != schema.explore_digest(wide_result)
+    ref_selection = api.evaluate("crc32", seed=3, max_area=80_000.0,
+                                 **wide)
+    assert selection["final_cycles"] == ref_selection.final_cycles
+
+
+def test_reconnect_after_drop_journey(serve_server, make_client):
+    """A dropped connection neither loses the submitted job nor wedges
+    the server: a reconnecting client recovers the result by id."""
+    journey = Journey("reconnect-after-drop", [
+        ("connect", "fresh"),
+        ("submit", "connected"),
+        ("drop", "submitted"),
+        ("reconnect", "dropped"),
+        ("poll", "reconnected"),
+        ("fetch", "reconnected"),
+        ("explore", "reconnected"),
+        ("disconnect", "recovered"),
+    ])
+    first = journey.do("connect", make_client, to="connected")
+    job = journey.do(
+        "submit", lambda: first.submit("crc32", seed=13, **FAST),
+        to="submitted")
+    journey.do("drop", first.close, to="dropped")
+
+    second = journey.do("reconnect", make_client, to="reconnected")
+    state = journey.do("poll", lambda: _poll_until_done(second, job))
+    assert state == "done"
+    fetched = journey.do("fetch", lambda: second.fetch(job))
+    # The dropped session left no poison behind: ordinary synchronous
+    # requests on the new connection work and agree with the job.
+    explored = journey.do(
+        "explore", lambda: second.explore("crc32", seed=13, **FAST),
+        to="recovered")
+    assert explored == fetched
+    journey.do("disconnect", second.close, to="closed")
+    journey.assert_complete()
+
+    reference = schema.explore_payload(
+        api.explore("crc32", seed=13, **FAST))
+    assert schema.explore_digest(fetched) \
+        == schema.explore_digest(reference)
+
+
+def test_journey_runner_rejects_undeclared_transitions():
+    journey = Journey("strict", [("connect", "fresh")])
+    journey.do("connect", lambda: None, to="connected")
+    with pytest.raises(AssertionError, match="undeclared transition"):
+        journey.do("explore", lambda: None)
+
+
+def test_journey_runner_fails_on_unexercised_transitions():
+    journey = Journey("incomplete", [
+        ("connect", "fresh"),
+        ("explore", "connected"),
+    ])
+    journey.do("connect", lambda: None, to="connected")
+    with pytest.raises(AssertionError, match="unexercised"):
+        journey.assert_complete()
+    assert journey.coverage() == (1, 2)
+    assert "[x] (connect, fresh)" in journey.report()
+    assert "[ ] (explore, connected)" in journey.report()

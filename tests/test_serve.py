@@ -1,0 +1,425 @@
+"""Exploration service: schema, protocol resilience, server semantics.
+
+Three layers, cheapest first:
+
+* request-schema units — strict validation, canonical fingerprints;
+* protocol fuzz — malformed / truncated / oversized / garbage frames
+  must each answer a structured ERR without killing the server loop
+  (the serve-side extension of test_dist.py's garbage-frame contract);
+* server semantics — quotas, timeouts, cancellation, job surface,
+  event streaming, and the bit-identity acceptance check against the
+  one-shot :func:`repro.api.explore`.
+"""
+
+import random
+import socket
+import struct
+import time
+
+import pytest
+
+from repro import api
+from repro.dist import protocol
+from repro.serve import schema
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.server import ExploreServer
+from repro.serve.schema import RequestError
+
+#: Minimal-effort explore settings (sub-100ms per fresh fingerprint).
+FAST = dict(profile="quick", iterations=8, restarts=1)
+
+
+@pytest.fixture
+def server():
+    srv = ExploreServer(port=0)
+    srv.start_in_thread()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(server.address, timeout=120.0) as c:
+        yield c
+
+
+# -- schema units ------------------------------------------------------------
+
+def test_validate_applies_explore_defaults():
+    req = schema.validate_request({"op": "explore", "workload": "crc32"})
+    assert req["issue"] == 2 and req["ports"] == "4/2"
+    assert req["profile"] == "quick" and req["seed"] == 0
+    assert req["engine"] == "aco" and req["opt"] == "O3"
+    assert req["jobs"] is None and req["batch"] is None
+
+
+def test_validate_rejects_unknown_op():
+    with pytest.raises(RequestError) as err:
+        schema.validate_request({"op": "detonate"})
+    assert err.value.code == "bad-op"
+
+
+def test_validate_rejects_unknown_keys_and_bad_types():
+    with pytest.raises(RequestError):
+        schema.validate_request(
+            {"op": "explore", "workload": "crc32", "bogus": 1})
+    with pytest.raises(RequestError):
+        schema.validate_request({"op": "explore", "workload": ""})
+    with pytest.raises(RequestError):
+        schema.validate_request(
+            {"op": "explore", "workload": "crc32", "issue": "two"})
+    with pytest.raises(RequestError):
+        schema.validate_request(
+            {"op": "explore", "workload": "crc32", "timeout": -1})
+    with pytest.raises(RequestError):
+        schema.validate_request([1, 2, 3])
+
+
+def test_validate_cancel_needs_exactly_one_target():
+    with pytest.raises(RequestError):
+        schema.validate_request({"op": "cancel"})
+    with pytest.raises(RequestError):
+        schema.validate_request({"op": "cancel", "request": 1, "job": "J1"})
+    assert schema.validate_request(
+        {"op": "cancel", "job": "J1"})["job"] == "J1"
+
+
+def test_validate_sweep_shapes():
+    req = schema.validate_request({
+        "op": "sweep", "workloads": ["crc32"],
+        "machines": [["4/2", 2]], "budgets": [20000.0],
+        "shard": [0, 2]})
+    assert req["machines"] == [("4/2", 2)]
+    assert req["shard"] == (0, 2)
+    with pytest.raises(RequestError):
+        schema.validate_request({"op": "sweep", "workloads": []})
+    with pytest.raises(RequestError):
+        schema.validate_request(
+            {"op": "sweep", "workloads": ["crc32"], "machines": [[2, "4/2"]]})
+
+
+def test_fingerprint_ignores_jobs_but_compat_key_does_not():
+    a = schema.validate_request(
+        {"op": "explore", "workload": "crc32", "jobs": None})
+    b = schema.validate_request(
+        {"op": "explore", "workload": "crc32", "jobs": 2})
+    assert schema.explore_fingerprint(a) == schema.explore_fingerprint(b)
+    assert schema.compat_key(a) != schema.compat_key(b)
+
+
+def test_compat_key_ignores_workload_and_opt():
+    a = schema.validate_request({"op": "explore", "workload": "crc32"})
+    b = schema.validate_request(
+        {"op": "explore", "workload": "bitcount", "opt": "O0"})
+    assert schema.explore_fingerprint(a) != schema.explore_fingerprint(b)
+    assert schema.compat_key(a) == schema.compat_key(b)
+
+
+def test_request_scope_is_the_machine_scope():
+    a = schema.validate_request({"op": "explore", "workload": "crc32"})
+    b = schema.validate_request(
+        {"op": "explore", "workload": "crc32", "issue": 3, "ports": "8/4"})
+    assert schema.request_scope(a) != schema.request_scope(b)
+    assert schema.request_scope(a).startswith("2is|4/2|")
+    sweep = schema.validate_request({"op": "sweep", "workloads": ["crc32"]})
+    assert schema.request_scope(sweep) == "sweep"
+
+
+def test_payload_digest_is_order_insensitive_and_content_sensitive():
+    assert schema.payload_digest({"a": 1, "b": 2}) \
+        == schema.payload_digest({"b": 2, "a": 1})
+    assert schema.payload_digest({"a": 1}) != schema.payload_digest({"a": 2})
+
+
+# -- protocol fuzz: the server loop must survive every garbage frame ---------
+
+def _raw_connection(server):
+    return socket.create_connection(("127.0.0.1", server.port),
+                                    timeout=30.0)
+
+
+def _recv_exact(sock, n):
+    data = b""
+    while len(data) < n:
+        chunk = sock.recv(n - len(data))
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        data += chunk
+    return data
+
+
+def _read_response(sock):
+    length = protocol.frame_length(_recv_exact(sock, 4))
+    return protocol.decode_serve_response(_recv_exact(sock, length))
+
+
+def _assert_still_serving(sock):
+    """A valid status request on ``sock`` still gets an OK answer."""
+    sock.sendall(protocol.pack_frame(
+        protocol.encode_serve_request(99, {"op": "status"})))
+    while True:
+        kind, request_id, body = _read_response(sock)
+        if request_id == 99:
+            assert kind == "ok" and "counters" in body
+            return body
+
+
+@pytest.mark.parametrize("payload", [
+    b"Z-completely-unknown-op",
+    b"",
+    protocol.OP_SERVE + b"\x00" * 4,                      # truncated id
+    protocol.OP_SERVE + b"\x00" * 8 + struct.pack("!I", 100) + b"short",
+    protocol.OP_SERVE + b"\x00" * 8
+    + struct.pack("!I", 8) + b"not json",
+    protocol.OP_SERVE + b"\x00" * 8
+    + struct.pack("!I", 6) + b"[1, 2]",                   # not an object
+], ids=["garbage-op", "empty", "truncated-id", "truncated-body",
+        "bad-json", "non-object"])
+def test_malformed_frames_answer_err_and_loop_survives(server, payload):
+    with _raw_connection(server) as sock:
+        sock.sendall(protocol.pack_frame(payload))
+        kind, request_id, body = _read_response(sock)
+        assert kind == "err" and request_id == 0
+        assert body["code"] == "protocol"
+        _assert_still_serving(sock)
+    assert server.counters.get("serve.protocol_errors", 0) >= 1
+
+
+def test_oversized_declared_frame_answers_err_then_disconnects(server):
+    with _raw_connection(server) as sock:
+        sock.sendall(struct.pack("!I", protocol.MAX_FRAME + 1))
+        kind, request_id, body = _read_response(sock)
+        assert kind == "err" and body["code"] == "protocol"
+        # No resync point exists past a corrupt prefix: the connection
+        # closes, but the server itself keeps accepting clients.
+        sock.settimeout(10.0)
+        assert sock.recv(1) == b""
+    with _raw_connection(server) as sock:
+        _assert_still_serving(sock)
+
+
+def test_oversized_body_answers_err_and_loop_survives(server):
+    big = protocol.OP_SERVE + b"\x00" * 8 \
+        + struct.pack("!I", schema.MAX_BODY + 16) \
+        + b"{" * (schema.MAX_BODY + 16)
+    with _raw_connection(server) as sock:
+        sock.sendall(protocol.pack_frame(big))
+        kind, __, body = _read_response(sock)
+        assert kind == "err" and body["code"] == "protocol"
+        _assert_still_serving(sock)
+
+
+def test_random_garbage_never_kills_the_server(server):
+    rng = random.Random(1234)
+    for trial in range(20):
+        with _raw_connection(server) as sock:
+            payload = bytes(rng.randrange(256)
+                            for __ in range(rng.randrange(1, 64)))
+            try:
+                sock.sendall(protocol.pack_frame(payload))
+                kind, __, body = _read_response(sock)
+                assert kind == "err"
+            except ConnectionError:
+                pass               # a drop is acceptable; a hang is not
+    with _raw_connection(server) as sock:
+        _assert_still_serving(sock)
+
+
+def test_valid_op_with_invalid_body_is_structured_not_protocol(client):
+    with pytest.raises(ServiceError) as err:
+        client.request({"op": "explore"})      # workload missing
+    assert err.value.code == "bad-request"
+    with pytest.raises(ServiceError) as err:
+        client.request({"op": "nonsense"})
+    assert err.value.code == "bad-op"
+    # The session is still perfectly usable afterwards.
+    assert "counters" in client.status()
+
+
+# -- server semantics --------------------------------------------------------
+
+def test_served_explore_is_bit_identical_to_one_shot(server, client):
+    served = client.explore("crc32", seed=11, **FAST)
+    reference = schema.explore_payload(
+        api.explore("crc32", seed=11, **FAST))
+    assert schema.explore_digest(served) \
+        == schema.explore_digest(reference)
+    assert served["baseline_cycles"] == reference["baseline_cycles"]
+    assert served["candidates"] == reference["candidates"]
+
+
+def test_served_evaluate_matches_one_shot(server, client):
+    served = client.evaluate("crc32", seed=11, max_area=80_000.0, **FAST)
+    reference = api.evaluate("crc32", seed=11, max_area=80_000.0, **FAST)
+    assert served["final_cycles"] == reference.final_cycles
+    assert served["reduction"] == reference.reduction
+    assert served["ises"] == list(reference.ises)
+    assert schema.selection_digest(served) == schema.selection_digest(
+        schema.selection_payload(reference))
+
+
+def test_served_sweep_matches_one_shot_digest(server, client):
+    served = client.sweep(["crc32"], machines=[["4/2", 2]],
+                          budgets=[80_000.0], **FAST)
+    reference = api.sweep(["crc32"], machines=[("4/2", 2)],
+                          budgets=(80_000.0,), **FAST)
+    assert served["digest"] == reference.digest
+    assert served["rows"] == [row.to_payload() for row in reference.rows]
+
+
+def test_memo_serves_repeat_fingerprints(server, client):
+    first = client.explore("crc32", seed=5, **FAST)
+    again = client.explore("crc32", seed=5, **FAST)
+    assert first == again
+    assert server.counters.get("serve.memo_hits", 0) >= 1
+
+
+def test_request_multiplexing_out_of_order_waits(server, client):
+    rid_a = client.send(dict(FAST, op="explore", workload="crc32", seed=21))
+    rid_b = client.send({"op": "status"})
+    status = client.wait(rid_b)       # answered while A still explores
+    assert "counters" in status
+    result = client.wait(rid_a)
+    assert result["workload"] == "crc32"
+
+
+def test_quota_rejects_excess_inflight_requests():
+    srv = ExploreServer(port=0, max_inflight=1)
+    srv.start_in_thread()
+    try:
+        with ServiceClient(srv.address, timeout=120.0) as c:
+            rids = [c.send(dict(FAST, op="explore", workload="crc32",
+                                seed=100 + i)) for i in range(4)]
+            codes = []
+            for rid in rids:
+                try:
+                    c.wait(rid)
+                    codes.append("ok")
+                except ServiceError as error:
+                    codes.append(error.code)
+            assert codes[0] == "ok"
+            assert "quota" in codes
+            assert srv.counters.get("serve.quota_rejections", 0) >= 1
+            # The client is not poisoned: a fresh request succeeds.
+            assert c.explore("crc32", seed=100, **FAST)["workload"] \
+                == "crc32"
+    finally:
+        srv.stop()
+
+
+def test_request_timeout_answers_structured_timeout(server, client):
+    with pytest.raises(ServiceError) as err:
+        client.explore("crc32", seed=31, timeout=0.0001, **FAST)
+    assert err.value.code == "timeout"
+    assert server.counters.get("serve.timeouts", 0) == 1
+    # The lane finishes (and memoises) regardless; the next identical
+    # request answers from the memo.
+    assert client.explore("crc32", seed=31, **FAST)["workload"] == "crc32"
+
+
+def test_cancel_inflight_request(server, client):
+    rid = client.send(dict(op="explore", workload="crc32", seed=41,
+                           profile="quick", iterations=400, restarts=4))
+    ack = client.request({"op": "cancel", "request": rid})
+    if ack.get("cancelled"):
+        with pytest.raises(ServiceError) as err:
+            client.wait(rid)
+        assert err.value.code == "cancelled"
+        assert server.counters.get("serve.cancelled", 0) >= 1
+    else:                          # lost the race: request had finished
+        client.wait(rid)
+
+
+def test_submit_poll_fetch_job_surface(server, client):
+    job = client.submit("crc32", seed=51, **FAST)
+    state = client.poll(job)
+    assert state in ("pending", "done")
+    deadline = time.time() + 60.0
+    while client.poll(job) != "done" and time.time() < deadline:
+        time.sleep(0.02)
+    assert client.poll(job) == "done"
+    fetched = client.fetch(job)
+    reference = schema.explore_payload(
+        api.explore("crc32", seed=51, **FAST))
+    assert schema.explore_digest(fetched) \
+        == schema.explore_digest(reference)
+    with pytest.raises(ServiceError) as err:
+        client.poll("J999999")
+    assert err.value.code == "unknown-job"
+
+
+def test_cancel_pending_job(server, client):
+    # A heavier job occupies the lane so the second stays pending long
+    # enough to cancel; if the race is lost the cancel reports so.
+    client.submit("crc32", seed=61, profile="quick", iterations=200,
+                  restarts=3)
+    victim = client.submit("bitcount", seed=62, **FAST)
+    ack = client.cancel(job=victim)
+    if ack["cancelled"]:
+        assert client.poll(victim) == "cancelled"
+        with pytest.raises(ServiceError) as err:
+            client.fetch(victim)
+        assert err.value.code == "cancelled"
+    else:
+        assert ack["state"] in ("done", "error")
+
+
+def test_subscribe_streams_progress_events(server, client):
+    client.subscribe()
+    rid = client.send(dict(FAST, op="explore", workload="crc32", seed=71))
+    client.wait(rid)
+    kinds = {record.get("kind") for __, record in client.events}
+    assert client.events, "no EVENT frames streamed"
+    assert any(request_id == rid for request_id, __ in client.events)
+    assert "round" in kinds or "block" in kinds
+    assert server.counters.get("serve.events", 0) >= len(client.events)
+    # Unsubscribe turns the stream back off for later requests.
+    client.subscribe(events=False)
+    before = len(client.events)
+    client.explore("crc32", seed=72, **FAST)
+    assert len(client.events) == before
+
+
+def test_status_reports_counters_scopes_and_jobs(server, client):
+    client.explore("crc32", seed=81, **FAST)
+    job = client.submit("crc32", seed=81, **FAST)
+    status = client.status()
+    assert status["counters"]["serve.requests"] >= 2
+    assert any(scope.startswith("2is|") for scope in status["scopes"])
+    assert job in status["jobs"]
+    assert status["sessions"] == 1
+    assert status["max_inflight"] == server.max_inflight
+
+
+def test_server_stop_is_idempotent(server):
+    server.stop()
+    server.stop()                  # second stop must be a clean no-op
+
+
+def test_client_surfaces_connection_loss_as_service_error(server):
+    client = ServiceClient(server.address, timeout=30.0)
+    rid = client.send({"op": "status"})
+    client.wait(rid)
+    server.stop()
+    with pytest.raises(ServiceError) as err:
+        client.request({"op": "status"})
+    assert err.value.code == "connection"
+    client.close()
+
+
+def test_cli_serve_subcommand_is_wired():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve", "--port", "0",
+                                      "--max-inflight", "3"])
+    assert args.func.__name__ == "_cmd_serve"
+    assert args.max_inflight == 3
+
+
+def test_api_serve_helper_round_trip():
+    server = api.serve(port=0, max_inflight=4)
+    try:
+        with ServiceClient(server.address, timeout=60.0) as c:
+            assert c.status()["max_inflight"] == 4
+    finally:
+        server.stop()
